@@ -1,0 +1,133 @@
+/// \file e4_sla_workloads.cpp
+/// \brief Experiment E4 — the SQLVM-style provider-cost comparison
+///        (motivating scenario of §1.1 and the companion paper [14]).
+///
+/// Four DaaS tenants share one buffer pool. Each has a piecewise-linear
+/// convex SLA (free up to a tolerated miss budget per accounting window,
+/// then a per-miss refund) and a distinct access pattern: a Zipf-skewed
+/// OLTP tenant, a scan-heavy reporting tenant, a phase-shifting tenant,
+/// and a uniform background tenant. The bench replays the same trace under
+/// ALG-DISCRETE and every baseline and reports the refund the provider
+/// would owe — the quantity the paper's cost model is designed to
+/// minimize. Shape: cost-aware policies (convex, landlord) owe less than
+/// tenant-oblivious ones (lru, fifo); static partitioning wastes capacity.
+
+#include <iostream>
+
+#include "bufferpool/buffer_pool.hpp"
+#include "core/convex_caching.hpp"
+#include "cost/piecewise_linear.hpp"
+#include "exp/policy_factory.hpp"
+#include "trace/generators.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<TenantContract> make_contracts() {
+  std::vector<TenantContract> contracts;
+  // Gold OLTP: tight SLA, expensive refunds.
+  contracts.push_back({"gold-oltp",
+                       std::make_unique<PiecewiseLinearCost>(
+                           PiecewiseLinearCost::sla(50.0, 10.0))});
+  // Reporting: scans are expected to miss; generous tolerance.
+  contracts.push_back({"report-scan",
+                       std::make_unique<PiecewiseLinearCost>(
+                           PiecewiseLinearCost::sla(400.0, 2.0))});
+  // Bursty dev/test tenant with phase shifts.
+  contracts.push_back({"phased-dev",
+                       std::make_unique<PiecewiseLinearCost>(
+                           PiecewiseLinearCost::sla(150.0, 4.0))});
+  // Background batch: cheap.
+  contracts.push_back({"batch-bg",
+                       std::make_unique<PiecewiseLinearCost>(
+                           PiecewiseLinearCost::sla(300.0, 1.0))});
+  return contracts;
+}
+
+Trace make_workload(std::size_t length, std::uint64_t seed) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back({std::make_unique<ZipfPages>(400, 1.1), 4.0});
+  tenants.push_back({std::make_unique<ScanPages>(300), 2.0});
+  tenants.push_back(
+      {std::make_unique<WorkingSetPages>(300, 40, 2000, 0.9), 2.0});
+  tenants.push_back({std::make_unique<UniformPages>(200), 1.0});
+  Rng rng(seed);
+  return generate_trace(std::move(tenants), length, rng);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("E4: multi-tenant SLA refund comparison on a shared buffer pool "
+          "(the paper's motivating DaaS scenario)");
+  cli.flag("k", "192", "buffer pool capacity in pages")
+      .flag("length", "60000", "total requests")
+      .flag("window", "2000", "SLA accounting window in requests")
+      .flag("seed", "7", "workload seed")
+      .flag("policies", "", "comma-separated policies (default: all online)")
+      .flag("csv", "", "optional CSV output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t k = cli.get_u64("k");
+  const std::size_t length = cli.get_u64("length");
+  const std::size_t window = cli.get_u64("window");
+  const Trace trace = make_workload(length, cli.get_u64("seed"));
+
+  std::vector<std::string> policies = online_policy_names();
+  if (!cli.get("policies").empty()) {
+    policies.clear();
+    for (const auto& p : split(cli.get("policies"), ','))
+      policies.push_back(std::string(trim(p)));
+  }
+  policies.push_back("belady");  // offline reference row
+
+  Table table({"policy", "gold-oltp", "report-scan", "phased-dev",
+               "batch-bg", "total refund", "total misses"});
+
+  const auto add_row = [&](std::unique_ptr<ReplacementPolicy> policy) {
+    BufferPool pool(k, make_contracts(), std::move(policy), window);
+    pool.replay(trace);
+    const BufferPoolReport report = pool.report();
+    std::uint64_t misses = 0;
+    for (const std::uint64_t m : report.misses) misses += m;
+    table.add(report.policy_name, report.refunds[0], report.refunds[1],
+              report.refunds[2], report.refunds[3], report.total_refund,
+              misses);
+  };
+
+  for (const std::string& name : policies) add_row(make_policy(name));
+  // The [14]-style deployment variant: marginals re-base at every
+  // accounting window, matching how the SLA is actually billed.
+  ConvexCachingOptions windowed;
+  windowed.window_length = window;
+  add_row(std::make_unique<ConvexCachingPolicy>(windowed));
+
+  print_table(std::cout,
+              "E4 — provider refund under per-window SLAs (k=" +
+                  std::to_string(k) + ", window=" + std::to_string(window) +
+                  ")",
+              table);
+  std::cout << "Reading: ALG-DISCRETE (ConvexCaching) concentrates its miss\n"
+               "budget on tenants whose marginal refund is lowest, cutting\n"
+               "the provider's bill far below LRU/FIFO/Landlord/static\n"
+               "partitioning. ARC and LFU remain competitive here: flat-\n"
+               "until-knee SLAs give zero derivative below the tolerance,\n"
+               "so cost-awareness only engages once a tenant crosses its\n"
+               "knee. Belady is the offline miss-count reference, not the\n"
+               "refund optimum.\n";
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccc
+
+int main(int argc, char** argv) {
+  try {
+    return ccc::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

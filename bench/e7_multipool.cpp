@@ -1,0 +1,135 @@
+/// \file e7_multipool.cpp
+/// \brief Experiment E7 — the §5 future-work extension: multiple memory
+///        pools with tenant migration under switching costs.
+///
+/// Six tenants, two pools. Tenant load shifts over time (phase-shifting
+/// working sets), so any static tenant→pool assignment is eventually
+/// wrong. The bench compares (a) one big shared pool of the combined size,
+/// (b) static balanced assignment over two pools, and (c) the greedy
+/// rebalancer at several switching costs. Shape: the rebalancer recovers
+/// most of the gap to the big shared pool while bounded switching spend,
+/// and its benefit shrinks as the switching cost rises.
+
+#include <iostream>
+
+#include "cost/monomial.hpp"
+#include "multipool/multi_pool.hpp"
+#include "policies/lru.hpp"
+#include "trace/generators.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace ccc {
+namespace {
+
+constexpr std::uint32_t kTenants = 6;
+
+Trace make_workload(std::size_t length, std::uint64_t seed) {
+  std::vector<TenantWorkload> tenants;
+  for (std::uint32_t i = 0; i < kTenants; ++i)
+    tenants.push_back({std::make_unique<WorkingSetPages>(
+                           120, 30, 3000 + 900 * i, 0.9),
+                       1.0 + 0.4 * i});
+  Rng rng(seed);
+  return generate_trace(std::move(tenants), length, rng);
+}
+
+std::vector<CostFunctionPtr> make_costs() {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < kTenants; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(2.0, 1.0 + 0.5 * i));
+  return costs;
+}
+
+PolicyFactory lru_factory() {
+  return [] { return std::make_unique<LruPolicy>(); };
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("E7: multiple memory pools with migration (paper §5 future work)");
+  cli.flag("pool", "64", "capacity of each of the two pools")
+      .flag("length", "40000", "total requests")
+      .flag("period", "1000", "rebalance cadence in requests")
+      .flag("switch-costs", "0,1e5,1e7,1e9", "switching costs to sweep")
+      .flag("seed", "21", "workload seed")
+      .flag("csv", "", "optional CSV output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t pool = cli.get_u64("pool");
+  const std::size_t length = cli.get_u64("length");
+  const Trace trace = make_workload(length, cli.get_u64("seed"));
+  const auto costs = make_costs();
+
+  Table table({"configuration", "miss cost", "migrations",
+               "switching paid", "total cost"});
+
+  {  // One shared pool with the combined capacity (upper reference).
+    MultiPoolOptions options;
+    options.pool_capacities = {2 * pool};
+    MultiPoolManager mgr(options, lru_factory(),
+                         std::vector<std::size_t>(kTenants, 0), costs);
+    mgr.replay(trace);
+    const MultiPoolReport r = mgr.report();
+    table.add("one shared pool (2x size)", r.miss_cost, r.migrations,
+              r.switching_cost_paid, r.total_cost);
+  }
+  {  // Sensible static split, no migration (the planner got it right).
+    MultiPoolOptions options;
+    options.pool_capacities = {pool, pool};
+    std::vector<std::size_t> assignment(kTenants);
+    for (std::uint32_t i = 0; i < kTenants; ++i) assignment[i] = i % 2;
+    MultiPoolManager mgr(options, lru_factory(), assignment, costs);
+    mgr.replay(trace);
+    const MultiPoolReport r = mgr.report();
+    table.add("two pools, good static split", r.miss_cost, r.migrations,
+              r.switching_cost_paid, r.total_cost);
+  }
+  {  // Pathological static assignment: everyone crowds pool 0.
+    MultiPoolOptions options;
+    options.pool_capacities = {pool, pool};
+    MultiPoolManager mgr(options, lru_factory(),
+                         std::vector<std::size_t>(kTenants, 0), costs);
+    mgr.replay(trace);
+    const MultiPoolReport r = mgr.report();
+    table.add("two pools, bad static (all on 0)", r.miss_cost, r.migrations,
+              r.switching_cost_paid, r.total_cost);
+  }
+  for (const double sc : cli.get_double_list("switch-costs")) {
+    // The rebalancer starts from the same bad assignment and must earn its
+    // keep against the switching cost.
+    MultiPoolOptions options;
+    options.pool_capacities = {pool, pool};
+    options.switching_cost = sc;
+    options.rebalance_period = cli.get_u64("period");
+    MultiPoolManager mgr(options, lru_factory(),
+                         std::vector<std::size_t>(kTenants, 0), costs);
+    mgr.replay(trace);
+    const MultiPoolReport r = mgr.report();
+    table.add("bad start + rebalance (switch=" + format_compact(sc) + ")",
+              r.miss_cost, r.migrations, r.switching_cost_paid,
+              r.total_cost);
+  }
+
+  print_table(std::cout, "E7 — multipool assignment and migration (§5)",
+              table);
+  std::cout << "Reading: starting from a pathological all-on-one-pool\n"
+               "assignment, the rebalancer recovers most of the gap to the\n"
+               "well-planned static split with a handful of migrations;\n"
+               "raising the switching cost suppresses migrations until the\n"
+               "behaviour decays back to the bad static assignment.\n";
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccc
+
+int main(int argc, char** argv) {
+  try {
+    return ccc::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+/// \file e8_mrc.cpp
+/// \brief Experiment E8 — cost-vs-capacity curves (capacity planning).
+///
+/// The paper's objective Σ_i f_i(misses_i) is, for a fixed LRU-managed
+/// pool, a function of the pool size k alone. One Mattson pass yields the
+/// per-tenant LRU miss counts at *every* k simultaneously; feeding them
+/// through the tenants' convex cost functions draws the provider's
+/// cost-vs-capacity curve — where SLA knees sit, and how much memory the
+/// cost-aware algorithm effectively "saves". The table prints the curve
+/// (figure-as-rows) plus, at selected k, the cost ALG-DISCRETE actually
+/// achieves versus the LRU curve's prediction.
+
+#include <iostream>
+
+#include "analysis/mrc.hpp"
+#include "core/convex_caching.hpp"
+#include "cost/piecewise_linear.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ccc {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  Cli cli("E8: LRU miss-rate curve and cost-vs-capacity, with ALG-DISCRETE "
+          "spot checks");
+  cli.flag("length", "60000", "requests in the workload")
+      .flag("seed", "13", "workload seed")
+      .flag("ks", "16,32,64,96,128,192,256,384,512",
+            "cache sizes for the curve")
+      .flag("csv", "", "optional CSV output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Three tenants: skewed OLTP, looping scan, Markov-correlated runs.
+  std::vector<TenantWorkload> workloads;
+  workloads.push_back({std::make_unique<ZipfPages>(300, 1.0), 2.0});
+  workloads.push_back({std::make_unique<ScanPages>(200), 1.0});
+  workloads.push_back({std::make_unique<MarkovPages>(250, 0.8, 0.8, 5), 1.5});
+  Rng rng(cli.get_u64("seed"));
+  const Trace trace =
+      generate_trace(std::move(workloads), cli.get_u64("length"), rng);
+
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(500.0, 8.0)));
+  costs.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(5000.0, 1.0)));
+  costs.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(2000.0, 3.0)));
+
+  const MissRateCurve curve = compute_mrc(trace);
+
+  Table table({"k", "LRU miss ratio", "t0 misses", "t1 misses", "t2 misses",
+               "LRU cost (curve)", "ConvexCaching cost (simulated)"});
+  for (const std::uint64_t k : cli.get_u64_list("ks")) {
+    ConvexCachingPolicy policy;
+    const SimResult run = run_trace(trace, k, policy, &costs);
+    table.add(k, curve.miss_ratio_at(k), curve.tenant_misses_at(k, 0),
+              curve.tenant_misses_at(k, 1), curve.tenant_misses_at(k, 2),
+              curve.cost_at(k, costs),
+              total_cost(run.metrics.miss_vector(), costs));
+  }
+
+  print_table(std::cout,
+              "E8 — cost vs capacity: exact LRU curve (one Mattson pass) "
+              "vs ALG-DISCRETE",
+              table);
+  std::cout << "Reading: the LRU column is exact for every k from a single\n"
+               "O(T log T) pass (stack property). ALG-DISCRETE reaches a\n"
+               "given cost level at a smaller k than LRU — the horizontal\n"
+               "gap between the two columns is memory the cost-aware\n"
+               "policy saves the provider.\n";
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccc
+
+int main(int argc, char** argv) {
+  try {
+    return ccc::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,110 @@
+/// \file e9_fractional.cpp
+/// \brief Experiment E9 — integral ALG-DISCRETE vs the fractional
+///        relaxation ([3]-style exponential profile, §1.3 lineage).
+///
+/// Randomization/fractionality is the dividing line of the paper's theory:
+/// Theorem 1.4's Ω(k)^β lower bound binds only deterministic integral
+/// algorithms, while [3] gets O(log k) for weighted caching fractionally.
+/// This bench measures that gap empirically: fractional miss mass vs the
+/// integral algorithm's misses vs the OPT bracket, for linear (the [3]
+/// setting) and convex (the paper's) costs. Shape: fractional ≤ integral
+/// everywhere, with the widest gap on cyclic/scan patterns where integral
+/// policies thrash.
+
+#include <iostream>
+
+#include "core/convex_caching.hpp"
+#include "core/fractional.hpp"
+#include "cost/monomial.hpp"
+#include "offline/opt_bounds.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ccc {
+namespace {
+
+Trace make_trace(const std::string& kind, std::uint32_t tenants,
+                 std::size_t length, std::uint64_t seed) {
+  std::vector<TenantWorkload> w;
+  for (std::uint32_t i = 0; i < tenants; ++i) {
+    // Working sets sized near the cache: the regime where fractional
+    // residency pays (far larger sets thrash everyone equally).
+    if (kind == "zipf")
+      w.push_back({std::make_unique<ZipfPages>(24, 1.0), 1.0});
+    else if (kind == "scan")
+      w.push_back({std::make_unique<ScanPages>(10), 1.0});
+    else
+      w.push_back({std::make_unique<UniformPages>(12), 1.0});
+  }
+  Rng rng(seed);
+  return generate_trace(std::move(w), length, rng);
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("E9: integral ALG-DISCRETE vs the fractional relaxation "
+          "(Bansal-Buchbinder-Naor-style exponential profile)");
+  cli.flag("k", "16", "cache size")
+      .flag("tenants", "2", "number of tenants")
+      .flag("length", "8000", "requests per trace")
+      .flag("betas", "1,2", "monomial exponents")
+      .flag("seed", "17", "workload seed")
+      .flag("csv", "", "optional CSV output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t k = cli.get_u64("k");
+  const auto tenants = static_cast<std::uint32_t>(cli.get_u64("tenants"));
+  const std::size_t length = cli.get_u64("length");
+
+  Table table({"workload", "beta", "integral cost", "fractional objective",
+               "fractional/integral", "OPT upper (heuristic)"});
+
+  for (const std::string kind : {"zipf", "scan", "uniform"}) {
+    for (const double beta : cli.get_double_list("betas")) {
+      const Trace trace =
+          make_trace(kind, tenants, length, cli.get_u64("seed"));
+      std::vector<CostFunctionPtr> costs;
+      for (std::uint32_t i = 0; i < tenants; ++i)
+        costs.push_back(std::make_unique<MonomialCost>(beta, 1.0 + i));
+
+      ConvexCachingPolicy integral;
+      const SimResult run = run_trace(trace, k, integral, &costs);
+      const double integral_cost =
+          total_cost(run.metrics.miss_vector(), costs);
+
+      const FractionalResult frac =
+          run_fractional_caching(trace, k, costs);
+
+      const OptEstimate opt = estimate_opt(trace, k, costs, 0);
+      table.add(kind, beta, integral_cost, frac.objective,
+                integral_cost > 0.0 ? frac.objective / integral_cost : 0.0,
+                opt.upper_cost);
+    }
+  }
+
+  print_table(std::cout,
+              "E9 — fractional relaxation vs integral algorithm (k=" +
+                  std::to_string(k) + ")",
+              table);
+  std::cout << "Reading: the fractional profile's edge is regime-dependent:\n"
+               "it wins decisively on tight scans with convex costs (the\n"
+               "thrashing pattern behind every paging lower bound), tracks\n"
+               "the integral algorithm on mixed traffic, and its adaptive-\n"
+               "weight generalization can trail slightly on skewed convex\n"
+               "workloads — the relaxation is machinery, not magic.\n";
+  if (!cli.get("csv").empty()) table.write_csv(cli.get("csv"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccc
+
+int main(int argc, char** argv) {
+  try {
+    return ccc::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

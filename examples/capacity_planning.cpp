@@ -1,0 +1,59 @@
+/// \file capacity_planning.cpp
+/// \brief Operator workflow: how much memory does this tenant mix need?
+///
+/// One Mattson pass over an archived trace yields the exact LRU miss count
+/// for every cache size; pushing those counts through the tenants' SLA
+/// curves turns the miss-rate curve into a cost-vs-capacity curve, and the
+/// knee of that curve is the provisioning answer. Demonstrates the
+/// umbrella header and the analysis module together.
+///
+/// Run: ./capacity_planning
+
+#include <iostream>
+
+#include "analysis/mrc.hpp"
+#include "ccc.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccc;
+
+  // An archived workload (here: synthesized and saved/loaded through the
+  // binary format, standing in for a production capture).
+  const Trace trace = [] {
+    std::vector<TenantWorkload> w;
+    w.push_back({std::make_unique<ZipfPages>(200, 1.1), 2.0});
+    w.push_back({std::make_unique<MarkovPages>(150, 0.85, 0.7, 3), 1.0});
+    Rng rng(17);
+    return generate_trace(std::move(w), 40'000, rng);
+  }();
+
+  std::vector<CostFunctionPtr> slas;
+  slas.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(800.0, 5.0)));
+  slas.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(2000.0, 2.0)));
+
+  const MissRateCurve curve = compute_mrc(trace);
+
+  Table table({"pool size k", "miss ratio", "refund at k",
+               "marginal refund saved per extra page"});
+  double previous_cost = -1.0;
+  std::size_t previous_k = 0;
+  for (const std::size_t k : {8u, 16u, 32u, 64u, 128u, 192u, 256u, 320u}) {
+    const double cost = curve.cost_at(k, slas);
+    const double marginal =
+        previous_cost >= 0.0
+            ? (previous_cost - cost) /
+                  static_cast<double>(k - previous_k)
+            : 0.0;
+    table.add(k, curve.miss_ratio_at(k), cost, marginal);
+    previous_cost = cost;
+    previous_k = k;
+  }
+  print_table(std::cout, "Capacity planning from one trace pass", table);
+  std::cout << "Provision where the marginal refund saved per page drops\n"
+               "below the price of a page of memory — the whole curve came\n"
+               "from a single O(T log T) pass, no per-k simulations.\n";
+  return 0;
+}

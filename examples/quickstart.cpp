@@ -1,0 +1,63 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the library's public API:
+///        1. define per-tenant convex cost functions,
+///        2. generate a multi-tenant workload,
+///        3. run the paper's algorithm (ALG-DISCRETE) and a baseline,
+///        4. compare costs and check the Theorem 1.1 guarantee.
+///
+/// Run: ./quickstart
+
+#include <iostream>
+
+#include "core/convex_caching.hpp"
+#include "core/theory.hpp"
+#include "cost/monomial.hpp"
+#include "exp/ratio.hpp"
+#include "policies/lru.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccc;
+
+  // --- 1. Tenants and their miss costs ------------------------------------
+  // Tenant 0 pays quadratically for misses (performance-sensitive);
+  // tenant 1 pays linearly (batch workload).
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));       // f0(x) = x²
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 2.0));  // f1(x) = 2x
+
+  // --- 2. A shared-cache workload ------------------------------------------
+  // Tenant 0: Zipf-skewed hot set; tenant 1: uniform scan-ish traffic.
+  std::vector<TenantWorkload> workloads;
+  workloads.push_back({std::make_unique<ZipfPages>(64, 1.0), 2.0});
+  workloads.push_back({std::make_unique<UniformPages>(64), 1.0});
+  Rng rng(42);
+  const Trace trace = generate_trace(std::move(workloads), 20'000, rng);
+  const std::size_t k = 32;  // shared cache size
+
+  // --- 3. Run the paper's algorithm and LRU on the same trace --------------
+  ConvexCachingPolicy convex;  // ALG-DISCRETE (Fig. 3 of the paper)
+  LruPolicy lru;
+  const SimResult convex_run = run_trace(trace, k, convex, &costs);
+  const SimResult lru_run = run_trace(trace, k, lru, &costs);
+
+  Table table({"policy", "t0 misses", "t1 misses", "total cost"});
+  table.add("ConvexCaching", convex_run.metrics.misses(0),
+            convex_run.metrics.misses(1),
+            total_cost(convex_run.metrics.miss_vector(), costs));
+  table.add("LRU", lru_run.metrics.misses(0), lru_run.metrics.misses(1),
+            total_cost(lru_run.metrics.miss_vector(), costs));
+  print_table(std::cout, "Quickstart: cost-aware vs cost-oblivious", table);
+
+  // --- 4. The theory, on demand --------------------------------------------
+  const double alpha =
+      curvature_alpha(costs, static_cast<double>(trace.size()));
+  std::cout << "curvature constant alpha = " << alpha
+            << "  (Theorem 1.1 factor alpha*k = " << alpha * double(k)
+            << ")\n";
+  std::cout << "ConvexCaching shifts misses toward the linear-cost tenant,\n"
+               "which is exactly what minimizing sum_i f_i(misses_i) wants.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file sla_buffer_pool.cpp
+/// \brief The paper's motivating scenario (§1.1): a DaaS provider shares
+///        one buffer pool among tenants with SLA refund curves, after the
+///        SQLVM system the authors prototyped [14, 15].
+///
+/// Three tenants with piecewise-linear convex SLAs replay database-like
+/// traffic; the example prints the per-window refunds an operator would
+/// owe under ALG-DISCRETE vs LRU, plus a per-tenant hit-rate dashboard.
+///
+/// Run: ./sla_buffer_pool
+
+#include <iomanip>
+#include <iostream>
+
+#include "bufferpool/buffer_pool.hpp"
+#include "core/convex_caching.hpp"
+#include "cost/piecewise_linear.hpp"
+#include "policies/lru.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccc;
+
+  // SLAs: refunds kick in only above a tolerated miss budget per window —
+  // the piecewise-linear convex shape §1.1 calls out explicitly.
+  const auto contracts = [] {
+    std::vector<TenantContract> c;
+    c.push_back({"payments-db",
+                 std::make_unique<PiecewiseLinearCost>(
+                     PiecewiseLinearCost::sla(20.0, 8.0))});
+    c.push_back({"analytics",
+                 std::make_unique<PiecewiseLinearCost>(
+                     PiecewiseLinearCost::sla(200.0, 1.0))});
+    c.push_back({"sessions-kv",
+                 std::make_unique<PiecewiseLinearCost>(
+                     PiecewiseLinearCost::sla(60.0, 3.0))});
+    return c;
+  };
+
+  // Workload: OLTP hot set, analytic scans, and a mid-size key-value
+  // working set — synthesized stand-ins for the SQLVM traces (DESIGN.md §2).
+  const Trace trace = [] {
+    std::vector<TenantWorkload> w;
+    w.push_back({std::make_unique<ZipfPages>(256, 1.2), 3.0});
+    w.push_back({std::make_unique<ScanPages>(512), 1.5});
+    w.push_back({std::make_unique<WorkingSetPages>(256, 48, 4000, 0.9), 2.0});
+    Rng rng(7);
+    return generate_trace(std::move(w), 50'000, rng);
+  }();
+
+  constexpr std::size_t kPoolPages = 256;
+  constexpr std::size_t kWindow = 2'000;
+
+  Table table({"policy", "tenant", "hit rate", "misses", "refund owed"});
+  double totals[2] = {0.0, 0.0};
+  int row = 0;
+  for (const bool cost_aware : {true, false}) {
+    std::unique_ptr<ReplacementPolicy> policy;
+    if (cost_aware)
+      policy = std::make_unique<ConvexCachingPolicy>();
+    else
+      policy = std::make_unique<LruPolicy>();
+    BufferPool pool(kPoolPages, contracts(), std::move(policy), kWindow);
+    pool.replay(trace);
+    const BufferPoolReport report = pool.report();
+    for (std::size_t i = 0; i < report.tenant_names.size(); ++i) {
+      const double accesses =
+          static_cast<double>(report.hits[i] + report.misses[i]);
+      const double hit_rate =
+          accesses > 0.0 ? static_cast<double>(report.hits[i]) / accesses
+                         : 0.0;
+      table.add(report.policy_name, report.tenant_names[i], hit_rate,
+                report.misses[i], report.refunds[i]);
+    }
+    totals[row++] = report.total_refund;
+  }
+  print_table(std::cout, "DaaS buffer pool: SLA refunds per policy", table);
+
+  std::cout << std::fixed << std::setprecision(1)
+            << "total refund  ConvexCaching: " << totals[0]
+            << "   LRU: " << totals[1] << "\n"
+            << "The cost-aware policy spends its misses where the SLA is\n"
+               "cheapest (the analytics tenant), cutting the provider's\n"
+               "refund bill.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "analysis/mrc.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+namespace {
+
+/// Fenwick tree over request positions; position p holds 1 iff it is the
+/// last access (so far) of some page.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t index, int delta) {
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+      tree_[i] += delta;
+  }
+
+  /// Sum over [0, index].
+  [[nodiscard]] std::int64_t prefix(std::size_t index) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+std::vector<std::uint64_t> suffix_sums(const std::vector<std::uint64_t>& h) {
+  std::vector<std::uint64_t> suffix(h.size() + 1, 0);
+  for (std::size_t d = h.size(); d-- > 0;)
+    suffix[d] = suffix[d + 1] + h[d];
+  return suffix;
+}
+
+}  // namespace
+
+MissRateCurve compute_mrc(const Trace& trace) {
+  MissRateCurve curve;
+  curve.num_requests_ = trace.size();
+  curve.num_tenants_ = trace.num_tenants();
+  curve.cold_per_tenant_.assign(trace.num_tenants(), 0);
+  curve.per_tenant_.assign(trace.num_tenants(), {});
+
+  Fenwick marks(trace.size());
+  std::unordered_map<PageId, std::size_t> last_access;
+  last_access.reserve(trace.distinct_pages());
+
+  const auto bump = [](std::vector<std::uint64_t>& h, std::size_t d) {
+    if (h.size() <= d) h.resize(d + 1, 0);
+    ++h[d];
+  };
+
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const Request& req = trace[t];
+    const auto it = last_access.find(req.page);
+    if (it == last_access.end()) {
+      ++curve.cold_per_tenant_[req.tenant];
+    } else {
+      // Distinct pages touched strictly between the two accesses = number
+      // of last-access marks in (prev, t).
+      const std::size_t prev = it->second;
+      const std::int64_t between =
+          marks.prefix(t - 1) - marks.prefix(prev);
+      CCC_CHECK(between >= 0, "negative stack distance");
+      const auto d = static_cast<std::size_t>(between);
+      bump(curve.histogram_, d);
+      bump(curve.per_tenant_[req.tenant], d);
+      marks.add(prev, -1);
+    }
+    marks.add(t, +1);
+    last_access[req.page] = t;
+  }
+
+  curve.suffix_ = suffix_sums(curve.histogram_);
+  curve.suffix_per_tenant_.reserve(curve.per_tenant_.size());
+  for (const auto& h : curve.per_tenant_)
+    curve.suffix_per_tenant_.push_back(suffix_sums(h));
+  return curve;
+}
+
+std::uint64_t MissRateCurve::misses_at(std::size_t k) const {
+  CCC_REQUIRE(k >= 1, "cache size must be positive");
+  std::uint64_t cold = 0;
+  for (const std::uint64_t c : cold_per_tenant_) cold += c;
+  // A re-reference at distance d hits iff d < k.
+  const std::uint64_t far =
+      k < suffix_.size() ? suffix_[k] : 0;
+  return cold + far;
+}
+
+double MissRateCurve::miss_ratio_at(std::size_t k) const {
+  if (num_requests_ == 0) return 0.0;
+  return static_cast<double>(misses_at(k)) /
+         static_cast<double>(num_requests_);
+}
+
+std::uint64_t MissRateCurve::tenant_misses_at(std::size_t k,
+                                              TenantId tenant) const {
+  CCC_REQUIRE(k >= 1, "cache size must be positive");
+  CCC_REQUIRE(tenant < num_tenants_, "tenant id out of range");
+  const auto& suffix = suffix_per_tenant_[tenant];
+  const std::uint64_t far = k < suffix.size() ? suffix[k] : 0;
+  return cold_per_tenant_[tenant] + far;
+}
+
+double MissRateCurve::cost_at(
+    std::size_t k, const std::vector<CostFunctionPtr>& costs) const {
+  CCC_REQUIRE(costs.size() >= num_tenants_,
+              "need one cost function per tenant");
+  double total = 0.0;
+  for (TenantId i = 0; i < num_tenants_; ++i)
+    total += costs[i]->value(static_cast<double>(tenant_misses_at(k, i)));
+  return total;
+}
+
+}  // namespace ccc

@@ -1,0 +1,67 @@
+#pragma once
+/// \file mrc.hpp
+/// \brief Exact LRU miss-rate curves via Mattson stack distances.
+///
+/// LRU obeys the stack (inclusion) property, so one pass over the trace
+/// yields its miss count for *every* cache size simultaneously: a request
+/// hits in a cache of size k iff fewer than k distinct pages were touched
+/// since the page's previous access. Distances are computed in O(T log T)
+/// with a Fenwick tree over last-access positions.
+///
+/// Used by experiment E8 to draw cost-vs-capacity curves (the provider's
+/// capacity-planning "figure"): expected per-tenant misses at every k feed
+/// the convex cost functions, exposing where each tenant's SLA knee sits.
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+/// Result of the single-pass Mattson analysis.
+class MissRateCurve {
+ public:
+  /// Total LRU misses with a cache of `k` pages (k >= 1).
+  [[nodiscard]] std::uint64_t misses_at(std::size_t k) const;
+
+  /// Miss ratio (misses / requests) at cache size k.
+  [[nodiscard]] double miss_ratio_at(std::size_t k) const;
+
+  /// Per-tenant LRU misses at cache size k (global shared LRU stack).
+  [[nodiscard]] std::uint64_t tenant_misses_at(std::size_t k,
+                                               TenantId tenant) const;
+
+  /// Σ_i f_i(misses_i(k)) — the paper's objective as a function of k.
+  [[nodiscard]] double cost_at(std::size_t k,
+                               const std::vector<CostFunctionPtr>& costs) const;
+
+  [[nodiscard]] std::size_t num_requests() const noexcept {
+    return num_requests_;
+  }
+  /// Largest finite stack distance observed (curve is flat beyond it).
+  [[nodiscard]] std::size_t max_useful_size() const noexcept {
+    return histogram_.empty() ? 1 : histogram_.size();
+  }
+
+ private:
+  friend MissRateCurve compute_mrc(const Trace& trace);
+
+  std::size_t num_requests_ = 0;
+  std::uint32_t num_tenants_ = 0;
+  /// histogram_[d] = number of re-references with stack distance d
+  /// (d distinct other pages touched since the previous access).
+  std::vector<std::uint64_t> histogram_;
+  std::vector<std::uint64_t> cold_per_tenant_;
+  /// per_tenant_[i][d] like histogram_ but restricted to tenant i.
+  std::vector<std::vector<std::uint64_t>> per_tenant_;
+  /// Suffix sums, built lazily-ish at construction for O(1) queries.
+  std::vector<std::uint64_t> suffix_;                 ///< Σ_{d>=k} histogram
+  std::vector<std::vector<std::uint64_t>> suffix_per_tenant_;
+};
+
+/// One-pass Mattson analysis of `trace`.
+[[nodiscard]] MissRateCurve compute_mrc(const Trace& trace);
+
+}  // namespace ccc

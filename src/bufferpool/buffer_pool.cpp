@@ -1,0 +1,59 @@
+#include "bufferpool/buffer_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+BufferPool::BufferPool(std::size_t capacity,
+                       std::vector<TenantContract> contracts,
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       std::size_t window_length, std::uint64_t seed)
+    : contracts_(std::move(contracts)),
+      policy_(std::move(policy)),
+      accounting_(static_cast<std::uint32_t>(contracts_.size()),
+                  window_length) {
+  CCC_REQUIRE(!contracts_.empty(), "a buffer pool needs at least one tenant");
+  CCC_REQUIRE(policy_ != nullptr, "a buffer pool needs a policy");
+  costs_.reserve(contracts_.size());
+  for (const TenantContract& contract : contracts_) {
+    CCC_REQUIRE(contract.sla != nullptr,
+                "every tenant contract needs an SLA cost function");
+    costs_.push_back(contract.sla->clone());
+  }
+  SimOptions options;
+  options.seed = seed;
+  session_ = std::make_unique<SimulatorSession>(
+      capacity, num_tenants(), *policy_, &costs_, options);
+}
+
+void BufferPool::access(TenantId tenant, PageId page) {
+  CCC_REQUIRE(tenant < num_tenants(), "tenant id out of range");
+  const StepEvent event = session_->step(Request{tenant, page});
+  if (!event.hit) accounting_.record_miss(tenant, clock_);
+  ++clock_;
+}
+
+void BufferPool::replay(const Trace& trace) {
+  CCC_REQUIRE(trace.num_tenants() <= num_tenants(),
+              "trace has more tenants than contracts");
+  policy_->preview(trace);  // offline policies (Belady) need the future
+  for (const Request& request : trace) access(request.tenant, request.page);
+}
+
+BufferPoolReport BufferPool::report() {
+  accounting_.finish();
+  BufferPoolReport out;
+  out.policy_name = policy_->name();
+  const Metrics& m = session_->metrics();
+  for (TenantId i = 0; i < num_tenants(); ++i) {
+    out.tenant_names.push_back(contracts_[i].name);
+    out.hits.push_back(m.hits(i));
+    out.misses.push_back(m.misses(i));
+    const double refund = accounting_.tenant_cost(i, *contracts_[i].sla);
+    out.refunds.push_back(refund);
+    out.total_refund += refund;
+  }
+  return out;
+}
+
+}  // namespace ccc

@@ -1,0 +1,69 @@
+#pragma once
+/// \file buffer_pool.hpp
+/// \brief SQLVM-style multi-tenant buffer-pool facade (substitute for the
+///        proprietary system of [14]/[15], see DESIGN.md §2).
+///
+/// A BufferPool binds together: the shared page cache of size k, a
+/// replacement policy, per-tenant SLA cost functions, and windowed refund
+/// accounting. It exposes exactly what a DaaS operator would read off a
+/// dashboard: per-tenant hit rates, miss counts per window, and the total
+/// refund owed under each tenant's SLA.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bufferpool/window_accounting.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccc {
+
+/// One tenant's contract with the provider.
+struct TenantContract {
+  std::string name;
+  CostFunctionPtr sla;  ///< refund as a function of misses per window
+};
+
+struct BufferPoolReport {
+  std::vector<std::string> tenant_names;
+  std::vector<std::uint64_t> hits;
+  std::vector<std::uint64_t> misses;
+  std::vector<double> refunds;  ///< per-tenant windowed SLA cost
+  double total_refund = 0.0;
+  std::string policy_name;
+};
+
+class BufferPool {
+ public:
+  /// `window_length` = 0 selects the paper's whole-run accounting.
+  BufferPool(std::size_t capacity, std::vector<TenantContract> contracts,
+             std::unique_ptr<ReplacementPolicy> policy,
+             std::size_t window_length, std::uint64_t seed = 1);
+
+  /// Serves one page access from `tenant`.
+  void access(TenantId tenant, PageId page);
+
+  /// Replays an entire trace (tenant count must match the contracts).
+  void replay(const Trace& trace);
+
+  /// Closes accounting and produces the operator report. Call once at the
+  /// end of the run; further access() calls are rejected.
+  [[nodiscard]] BufferPoolReport report();
+
+  [[nodiscard]] const Metrics& metrics() const noexcept {
+    return session_->metrics();
+  }
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return static_cast<std::uint32_t>(contracts_.size());
+  }
+
+ private:
+  std::vector<TenantContract> contracts_;
+  std::vector<CostFunctionPtr> costs_;  ///< cloned from contracts for policies
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<SimulatorSession> session_;
+  WindowAccounting accounting_;
+  TimeStep clock_ = 0;
+};
+
+}  // namespace ccc

@@ -1,0 +1,69 @@
+#include "bufferpool/window_accounting.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+WindowAccounting::WindowAccounting(std::uint32_t num_tenants,
+                                   std::size_t window_length)
+    : window_length_(window_length),
+      current_counts_(num_tenants, 0),
+      closed_(num_tenants) {
+  CCC_REQUIRE(num_tenants > 0, "need at least one tenant");
+}
+
+void WindowAccounting::roll_to(TimeStep time) {
+  if (window_length_ == 0) return;  // single-window mode
+  const std::size_t window = time / window_length_;
+  while (current_window_ < window) {
+    for (std::uint32_t i = 0; i < current_counts_.size(); ++i) {
+      closed_[i].push_back(current_counts_[i]);
+      current_counts_[i] = 0;
+    }
+    ++current_window_;
+  }
+}
+
+void WindowAccounting::record_miss(TenantId tenant, TimeStep time) {
+  CCC_REQUIRE(tenant < current_counts_.size(), "tenant id out of range");
+  CCC_REQUIRE(!finished_, "accounting already finished");
+  roll_to(time);
+  ++current_counts_[tenant];
+}
+
+void WindowAccounting::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (std::uint32_t i = 0; i < current_counts_.size(); ++i) {
+    closed_[i].push_back(current_counts_[i]);
+    current_counts_[i] = 0;
+  }
+}
+
+double WindowAccounting::tenant_cost(TenantId tenant,
+                                     const CostFunction& f) const {
+  CCC_REQUIRE(tenant < closed_.size(), "tenant id out of range");
+  CCC_REQUIRE(finished_, "call finish() before reading costs");
+  double total = 0.0;
+  for (const std::uint64_t misses : closed_[tenant])
+    total += f.value(static_cast<double>(misses));
+  return total;
+}
+
+double WindowAccounting::total_cost(
+    const std::vector<CostFunctionPtr>& costs) const {
+  CCC_REQUIRE(costs.size() >= closed_.size(),
+              "need one cost function per tenant");
+  double total = 0.0;
+  for (TenantId i = 0; i < closed_.size(); ++i)
+    total += tenant_cost(i, *costs[i]);
+  return total;
+}
+
+const std::vector<std::uint64_t>& WindowAccounting::windows(
+    TenantId tenant) const {
+  CCC_REQUIRE(tenant < closed_.size(), "tenant id out of range");
+  return closed_[tenant];
+}
+
+}  // namespace ccc

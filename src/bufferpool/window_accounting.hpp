@@ -1,0 +1,56 @@
+#pragma once
+/// \file window_accounting.hpp
+/// \brief Time-windowed SLA cost accounting, after the SQLVM companion
+///        paper [14]: the provider's refund to tenant i is f_i applied to
+///        the tenant's miss count *per accounting window* (not over the
+///        whole run). The paper's model (§1.2) is the single-window special
+///        case; both modes are supported so E4 can report provider refunds
+///        the way a DaaS operator bills them.
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "trace/types.hpp"
+
+namespace ccc {
+
+class WindowAccounting {
+ public:
+  /// `window_length` in requests; 0 means a single run-length window
+  /// (the paper's total-miss model).
+  WindowAccounting(std::uint32_t num_tenants, std::size_t window_length);
+
+  /// Records a miss of `tenant` at step `time` (global request index).
+  void record_miss(TenantId tenant, TimeStep time);
+
+  /// Closes the current window (call once after the run).
+  void finish();
+
+  /// Σ over closed windows of f_i(misses in window), for one tenant.
+  [[nodiscard]] double tenant_cost(TenantId tenant,
+                                   const CostFunction& f) const;
+
+  /// Σ over tenants of tenant_cost.
+  [[nodiscard]] double total_cost(
+      const std::vector<CostFunctionPtr>& costs) const;
+
+  /// Per-window miss counts for a tenant (diagnostics / plotting).
+  [[nodiscard]] const std::vector<std::uint64_t>& windows(
+      TenantId tenant) const;
+
+  [[nodiscard]] std::size_t window_length() const noexcept {
+    return window_length_;
+  }
+
+ private:
+  void roll_to(TimeStep time);
+
+  std::size_t window_length_;
+  std::size_t current_window_ = 0;
+  bool finished_ = false;
+  std::vector<std::uint64_t> current_counts_;          ///< per tenant
+  std::vector<std::vector<std::uint64_t>> closed_;     ///< [tenant][window]
+};
+
+}  // namespace ccc

@@ -1,0 +1,162 @@
+#include "core/convex_caching.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+namespace {
+
+/// Marginal cost of the (m+1)-st miss of a tenant with cost function f.
+double marginal_at(const CostFunction& f, std::uint64_t m,
+                   DerivativeMode mode) {
+  const double x = static_cast<double>(m);
+  if (mode == DerivativeMode::kAnalytic) return f.derivative(x + 1.0);
+  return f.value(x + 1.0) - f.value(x);
+}
+
+}  // namespace
+
+ConvexCachingPolicy::ConvexCachingPolicy(ConvexCachingOptions options)
+    : options_(options) {}
+
+void ConvexCachingPolicy::reset(const PolicyContext& ctx) {
+  CCC_REQUIRE(ctx.costs != nullptr,
+              "ConvexCachingPolicy needs per-tenant cost functions");
+  CCC_REQUIRE(ctx.costs->size() >= ctx.num_tenants,
+              "need one cost function per tenant");
+  costs_ = ctx.costs;
+  offset_ = 0.0;
+  tenant_bump_.assign(ctx.num_tenants, 0.0);
+  evictions_.assign(ctx.num_tenants, 0);
+  heaps_.assign(ctx.num_tenants, MinHeap{});
+  key_of_.clear();
+  tenant_of_.clear();
+  current_window_ = 0;
+}
+
+void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
+  if (options_.window_length == 0) return;
+  const std::size_t window = time / options_.window_length;
+  if (window == current_window_) return;
+  current_window_ = window;
+  // New accounting window: every tenant's miss count restarts at zero, so
+  // every marginal — and therefore every budget — re-bases.
+  std::fill(evictions_.begin(), evictions_.end(), 0);
+  std::fill(tenant_bump_.begin(), tenant_bump_.end(), 0.0);
+  offset_ = 0.0;
+  for (auto& heap : heaps_) heap = MinHeap{};
+  for (const auto& [page, tenant] : tenant_of_) {
+    const double key = next_marginal(tenant);
+    key_of_[page] = key;
+    heaps_[tenant].push(HeapEntry{key, page});
+  }
+}
+
+double ConvexCachingPolicy::next_marginal(TenantId tenant) const {
+  return marginal_at(*(*costs_)[tenant], evictions_[tenant],
+                     options_.derivative);
+}
+
+void ConvexCachingPolicy::set_budget(PageId page, TenantId tenant) {
+  // Freeze the budget against the current offsets; the old heap entry (if
+  // any) becomes stale and is skipped lazily.
+  const double key = next_marginal(tenant) - tenant_bump_[tenant] + offset_;
+  key_of_[page] = key;
+  tenant_of_[page] = tenant;
+  heaps_[tenant].push(HeapEntry{key, page});
+}
+
+void ConvexCachingPolicy::on_hit(const Request& request, TimeStep time) {
+  maybe_roll_window(time);
+  // Fig. 3, first bullet: refresh B(p_t) on every access.
+  set_budget(request.page, request.tenant);
+}
+
+bool ConvexCachingPolicy::clean_top(TenantId tenant, HeapEntry& top) {
+  MinHeap& heap = heaps_[tenant];
+  while (!heap.empty()) {
+    const HeapEntry candidate = heap.top();
+    const auto it = key_of_.find(candidate.page);
+    if (it != key_of_.end() && tenant_of_.at(candidate.page) == tenant &&
+        it->second == candidate.key) {
+      top = candidate;
+      return true;
+    }
+    heap.pop();  // stale: page evicted or budget re-set since
+  }
+  return false;
+}
+
+PageId ConvexCachingPolicy::choose_victim(const Request& /*request*/,
+                                          TimeStep time) {
+  maybe_roll_window(time);
+  // Fig. 3: the page with the smallest budget. The global debit offset
+  // shifts every effective budget equally, so only the per-tenant bumps
+  // differentiate tenants: victim = argmin over tenants of
+  // (clean heap top key + tenant bump), ties broken by page id.
+  bool found = false;
+  double best_eff = 0.0;
+  PageId best_page = 0;
+  for (TenantId tenant = 0; tenant < heaps_.size(); ++tenant) {
+    HeapEntry top;
+    if (!clean_top(tenant, top)) continue;
+    const double eff = effective(top.key, tenant);
+    if (!found || eff < best_eff ||
+        (eff == best_eff && top.page < best_page)) {
+      found = true;
+      best_eff = eff;
+      best_page = top.page;
+    }
+  }
+  CCC_CHECK(found, "ConvexCaching asked for a victim with an empty cache");
+  return best_page;
+}
+
+void ConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
+                                   TimeStep /*time*/) {
+  const auto it = key_of_.find(victim);
+  CCC_CHECK(it != key_of_.end(), "ConvexCaching evicting an untracked page");
+  const double victim_budget = effective(it->second, owner);
+  key_of_.erase(it);
+  tenant_of_.erase(victim);
+
+  // Fig. 3: debit every surviving page by B(p) — one offset update.
+  if (options_.debit_survivors) offset_ += victim_budget;
+
+  // The victim's tenant just incurred a miss: m(owner) grows, and the
+  // marginal of its *next* miss moves from f'(m+1) to f'(m+2).
+  const std::uint64_t m_before = evictions_[owner]++;
+  if (options_.bump_victim_tenant) {
+    const CostFunction& f = *(*costs_)[owner];
+    const double delta = marginal_at(f, m_before + 1, options_.derivative) -
+                         marginal_at(f, m_before, options_.derivative);
+    tenant_bump_[owner] += delta;
+  }
+}
+
+void ConvexCachingPolicy::on_insert(const Request& request, TimeStep time) {
+  maybe_roll_window(time);
+  // Fig. 3: B(p_t) ← f'(m+1). Inserted after the offset/bump updates of the
+  // same step, so the new page is exempt from this step's debit — exactly
+  // the "p' ∉ {p, p_t}" exclusion.
+  set_budget(request.page, request.tenant);
+}
+
+double ConvexCachingPolicy::budget(PageId page) const {
+  const auto it = key_of_.find(page);
+  CCC_REQUIRE(it != key_of_.end(), "budget() of a non-resident page");
+  return effective(it->second, tenant_of_.at(page));
+}
+
+std::string ConvexCachingPolicy::name() const {
+  std::string n = "ConvexCaching";
+  if (options_.derivative == DerivativeMode::kDiscreteMarginal)
+    n += "[discrete]";
+  if (!options_.debit_survivors) n += "[no-debit]";
+  if (!options_.bump_victim_tenant) n += "[no-bump]";
+  if (options_.window_length > 0)
+    n += "[w=" + std::to_string(options_.window_length) + "]";
+  return n;
+}
+
+}  // namespace ccc

@@ -1,0 +1,123 @@
+#pragma once
+/// \file convex_caching.hpp
+/// \brief ALG-DISCRETE (paper Fig. 3) — the paper's online algorithm.
+///
+/// Every resident page carries a budget `B(p)`. On a hit or insertion the
+/// touched page's budget is refreshed to `f'_{i(p)}(m(i(p)) + 1)` — the
+/// marginal cost of its tenant's *next* miss. When an eviction is needed
+/// the minimum-budget page `p` goes; every other resident page is debited
+/// `B(p)`, and the pages of the victim's tenant are additionally bumped by
+/// `f'(m+2) − f'(m+1)` because that tenant's miss count just grew.
+///
+/// This is the discrete implementation of the primal–dual ALG-CONT
+/// (Fig. 2): the dual variable `y_t` rises by exactly `B(p)` at each
+/// eviction, and the budget of a page equals its Lagrangian residual. A
+/// property test asserts the eviction sequences coincide.
+///
+/// This class is the production implementation: the "debit everyone" step
+/// is folded into a global offset (it cannot change the argmin) and the
+/// per-tenant bump into a per-tenant offset, so each operation is
+/// O(log k) amortized via per-tenant lazy min-heaps instead of the O(k)
+/// literal transcription (see NaiveConvexCachingPolicy, used as the test
+/// oracle).
+///
+/// §2.5: with `DerivativeMode::kDiscreteMarginal` the analytic derivative
+/// is replaced by `f(m+1) − f(m)`, which supports arbitrary — non-convex,
+/// even discontinuous — cost functions (no guarantee, but a working
+/// algorithm; experiment E5).
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+/// How the marginal cost of the next miss is evaluated.
+enum class DerivativeMode {
+  kAnalytic,          ///< f'(m+1), as written in Fig. 3
+  kDiscreteMarginal,  ///< f(m+1) − f(m), the §2.5 generalization
+};
+
+/// Ablation switches for experiment E5. Production defaults: all on.
+struct ConvexCachingOptions {
+  DerivativeMode derivative = DerivativeMode::kAnalytic;
+  /// Fig. 3 step "B(p') ← B(p') − B(p)". Off ⇒ budgets never decay and the
+  /// policy degenerates toward evict-lowest-marginal-tenant.
+  bool debit_survivors = true;
+  /// Fig. 3 step bumping the victim tenant's pages. Off ⇒ stale marginals.
+  bool bump_victim_tenant = true;
+  /// When > 0, tenant miss counts reset every `window_length` requests and
+  /// all budgets re-base — the per-window SLA deployment mode of the SQLVM
+  /// companion paper [14], where f_i is charged on misses per accounting
+  /// window rather than over the whole run. 0 = the paper's whole-run model.
+  std::size_t window_length = 0;
+};
+
+class ConvexCachingPolicy final : public ReplacementPolicy {
+ public:
+  explicit ConvexCachingPolicy(ConvexCachingOptions options = {});
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Effective budget of a resident page (test/diagnostic hook).
+  [[nodiscard]] double budget(PageId page) const;
+
+  /// Evictions charged to each tenant so far — m(i,t) in the paper.
+  [[nodiscard]] const std::vector<std::uint64_t>& tenant_evictions()
+      const noexcept {
+    return evictions_;
+  }
+
+ private:
+  /// Marginal cost of tenant i's next miss given its current eviction count.
+  [[nodiscard]] double next_marginal(TenantId tenant) const;
+
+  /// Effective budget from a stored key:
+  ///   eff = key + tenant_bump_[i] − offset_
+  /// where key was frozen as (B_set − tenant_bump_at_set + offset_at_set).
+  [[nodiscard]] double effective(double key, TenantId tenant) const {
+    return key + tenant_bump_[tenant] - offset_;
+  }
+
+  void set_budget(PageId page, TenantId tenant);
+
+  struct HeapEntry {
+    double key;
+    PageId page;
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.key != b.key) return a.key > b.key;
+      return a.page > b.page;
+    }
+  };
+  using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                      std::greater<HeapEntry>>;
+
+  /// Pops stale entries; returns false if the tenant has no resident page.
+  [[nodiscard]] bool clean_top(TenantId tenant, HeapEntry& top);
+
+  /// Windowed mode: on crossing a window boundary, resets miss counts and
+  /// re-bases every resident budget (O(k), once per window).
+  void maybe_roll_window(TimeStep time);
+
+  ConvexCachingOptions options_;
+  const std::vector<CostFunctionPtr>* costs_ = nullptr;
+
+  double offset_ = 0.0;                  ///< cumulative global debit
+  std::vector<double> tenant_bump_;      ///< cumulative per-tenant bumps
+  std::vector<std::uint64_t> evictions_; ///< m(i, t)
+  std::vector<MinHeap> heaps_;           ///< one lazy min-heap per tenant
+  std::unordered_map<PageId, double> key_of_;  ///< current key per page
+  std::unordered_map<PageId, TenantId> tenant_of_;
+  std::size_t current_window_ = 0;
+};
+
+}  // namespace ccc

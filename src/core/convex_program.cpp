@@ -1,0 +1,122 @@
+#include "core/convex_program.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+ConvexProgram::ConvexProgram(const Trace& trace, std::size_t cache_size)
+    : trace_(trace), cache_size_(cache_size) {
+  CCC_REQUIRE(cache_size > 0, "cache size must be positive");
+
+  // Pass 1: create one variable per request (page p's j-th request opens
+  // interval (p,j)) and track each page's current interval.
+  std::unordered_map<PageId, std::uint32_t> request_count;
+  std::unordered_map<PageId, std::size_t> current_variable;
+  // Pass 2 is fused: constraints reference the *current* variable of every
+  // page in B(t) except p_t.
+  std::vector<PageId> seen_order;  // B(t) in first-seen order
+
+  for (TimeStep t = 0; t < trace.size(); ++t) {
+    const Request& req = trace[t];
+    const std::uint32_t j = ++request_count[req.page];
+    if (j == 1) seen_order.push_back(req.page);
+    const std::size_t var = tenant_of_variable_.size();
+    variable_of_.emplace(VarKey{req.page, j}, var);
+    tenant_of_variable_.push_back(req.tenant);
+    current_variable[req.page] = var;
+
+    const double rhs =
+        static_cast<double>(seen_order.size()) - static_cast<double>(cache_size);
+    if (rhs > 0.0) {
+      Constraint c;
+      c.time = t;
+      c.rhs = rhs;
+      c.variables.reserve(seen_order.size() - 1);
+      for (const PageId page : seen_order)
+        if (page != req.page) c.variables.push_back(current_variable.at(page));
+      constraints_.push_back(std::move(c));
+    }
+  }
+}
+
+std::size_t ConvexProgram::variable(PageId page, std::uint32_t j) const {
+  const auto it = variable_of_.find(VarKey{page, j});
+  CCC_REQUIRE(it != variable_of_.end(), "unknown (page, j) pair");
+  return it->second;
+}
+
+std::size_t ConvexProgram::variable_at(PageId page, TimeStep t) const {
+  CCC_REQUIRE(t < trace_.size(), "time out of range");
+  // j(p,t): the interval following p's last request at or before t.
+  std::uint32_t j = 0;
+  for (TimeStep s = 0; s <= t; ++s)
+    if (trace_[s].page == page) ++j;
+  CCC_REQUIRE(j > 0, "page not yet requested at time t");
+  return variable(page, j);
+}
+
+bool ConvexProgram::feasible(const std::vector<double>& x,
+                             double tolerance) const {
+  return min_slack(x) >= -tolerance;
+}
+
+double ConvexProgram::min_slack(const std::vector<double>& x) const {
+  CCC_REQUIRE(x.size() == num_variables(), "assignment arity mismatch");
+  for (const double v : x)
+    CCC_REQUIRE(v >= -1e-12 && v <= 1.0 + 1e-12,
+                "assignment values must lie in [0,1]");
+  double min_slack = std::numeric_limits<double>::infinity();
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const std::size_t var : c.variables) lhs += x[var];
+    min_slack = std::min(min_slack, lhs - c.rhs);
+  }
+  return constraints_.empty() ? 0.0 : min_slack;
+}
+
+std::vector<double> ConvexProgram::tenant_mass(
+    const std::vector<double>& x) const {
+  CCC_REQUIRE(x.size() == num_variables(), "assignment arity mismatch");
+  std::vector<double> mass(trace_.num_tenants(), 0.0);
+  for (std::size_t v = 0; v < x.size(); ++v)
+    mass[tenant_of_variable_[v]] += x[v];
+  return mass;
+}
+
+double ConvexProgram::objective(const std::vector<double>& x,
+                                const std::vector<CostFunctionPtr>& costs)
+    const {
+  const std::vector<double> mass = tenant_mass(x);
+  CCC_REQUIRE(costs.size() >= mass.size(),
+              "need one cost function per tenant");
+  double total = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i)
+    total += costs[i]->value(mass[i]);
+  return total;
+}
+
+std::vector<double> ConvexProgram::assignment_from_events(
+    const std::vector<StepEvent>& events) const {
+  CCC_REQUIRE(events.size() == trace_.size(),
+              "event schedule must cover the whole trace");
+  std::vector<double> x(num_variables(), 0.0);
+  std::unordered_map<PageId, std::uint32_t> request_count;
+  std::unordered_map<PageId, std::size_t> current_variable;
+  for (TimeStep t = 0; t < events.size(); ++t) {
+    const Request& req = events[t].request;
+    CCC_REQUIRE(req.page == trace_[t].page, "events do not match the trace");
+    current_variable[req.page] = variable(req.page, ++request_count[req.page]);
+    if (events[t].victim.has_value()) {
+      const auto it = current_variable.find(*events[t].victim);
+      CCC_REQUIRE(it != current_variable.end(),
+                  "victim was never requested before its eviction");
+      x[it->second] = 1.0;
+    }
+  }
+  return x;
+}
+
+}  // namespace ccc

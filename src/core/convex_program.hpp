@@ -1,0 +1,95 @@
+#pragma once
+/// \file convex_program.hpp
+/// \brief The integer convex program (ICP) of Fig. 1 and its relaxation
+///        (CP), built from a request sequence.
+///
+/// Variables x(p,j) ∈ {0,1} (relaxed to [0,1]) say whether page p is
+/// evicted inside its j-th inter-request interval. Constraints, one per
+/// time t: Σ_{p ∈ B(t)\{p_t}} x(p, j(p,t)) ≥ |B(t)| − k — all but k of the
+/// distinct pages seen so far must be out of the cache. The objective is
+/// Σ_i f_i(Σ_{p∈P_i} Σ_j x(p,j)).
+///
+/// The paper never *solves* this program (the algorithm only uses its
+/// Lagrangian to guide evictions); here it exists so tests and experiments
+/// can (a) certify that every simulated schedule induces a feasible ICP
+/// point whose objective equals the schedule's eviction cost, and (b)
+/// evaluate fractional points of the relaxation. Fig. 4's (ICP-h)/(CP-h)
+/// is the same object with `k` replaced by `h`.
+
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+/// Static interval structure of a trace (independent of any algorithm).
+class ConvexProgram {
+ public:
+  /// Builds the interval/constraint structure for `trace` with cache size
+  /// `cache_size` (k for Fig. 1, h for Fig. 4).
+  ConvexProgram(const Trace& trace, std::size_t cache_size);
+
+  /// Total number of x(p,j) variables (= number of requests).
+  [[nodiscard]] std::size_t num_variables() const noexcept {
+    return variable_of_.size();
+  }
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_size_; }
+
+  /// Index of variable x(p, j), j 1-based; throws for unknown pairs.
+  [[nodiscard]] std::size_t variable(PageId page, std::uint32_t j) const;
+
+  /// Variable active at time t for page p — x(p, j(p,t)); requires p ∈ B(t).
+  [[nodiscard]] std::size_t variable_at(PageId page, TimeStep t) const;
+
+  /// Feasibility of an assignment (values in [0,1]) with slack `tolerance`.
+  /// Checks every time-t constraint of Fig. 1.
+  [[nodiscard]] bool feasible(const std::vector<double>& x,
+                              double tolerance = 1e-9) const;
+
+  /// Minimum constraint slack (negative ⇒ infeasible by that amount).
+  [[nodiscard]] double min_slack(const std::vector<double>& x) const;
+
+  /// Objective Σ_i f_i(Σ x over tenant i's variables).
+  [[nodiscard]] double objective(
+      const std::vector<double>& x,
+      const std::vector<CostFunctionPtr>& costs) const;
+
+  /// Per-tenant variable mass Σ_{p∈P_i} Σ_j x(p,j) (fractional misses).
+  [[nodiscard]] std::vector<double> tenant_mass(
+      const std::vector<double>& x) const;
+
+  /// Converts a simulated schedule into the induced 0/1 assignment:
+  /// x(p,j) = 1 iff p was evicted during its j-th interval.
+  [[nodiscard]] std::vector<double> assignment_from_events(
+      const std::vector<StepEvent>& events) const;
+
+ private:
+  struct VarKey {
+    PageId page;
+    std::uint32_t j;
+    friend bool operator==(const VarKey&, const VarKey&) = default;
+  };
+  struct VarKeyHash {
+    std::size_t operator()(const VarKey& k) const noexcept {
+      return std::hash<PageId>()(k.page) * 1000003u ^ k.j;
+    }
+  };
+
+  const Trace& trace_;
+  std::size_t cache_size_;
+  std::unordered_map<VarKey, std::size_t, VarKeyHash> variable_of_;
+  std::vector<TenantId> tenant_of_variable_;
+  /// For each time t: the list of active variables of B(t)\{p_t} and the
+  /// right-hand side |B(t)| − k (only times with rhs > 0 are stored).
+  struct Constraint {
+    TimeStep time;
+    std::vector<std::size_t> variables;
+    double rhs;
+  };
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ccc

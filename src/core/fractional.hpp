@@ -1,0 +1,58 @@
+#pragma once
+/// \file fractional.hpp
+/// \brief Online *fractional* caching in the spirit of Bansal–Buchbinder–
+///        Naor [3] — the LP machinery the paper's convex program builds on
+///        (§1.3: "our convex program builds on a different linear program
+///        which was given by [3] for the weighted caching problem").
+///
+/// State: for every page's current inter-request interval, a fraction
+/// x(p) ∈ [0,1] of the page held *outside* the cache. On each request the
+/// requested page is fully fetched (x = 0) and, if the packing constraint
+/// Σ_{q ∈ B(t)\{p_t}} x(q) ≥ |B(t)| − k is violated, a dual variable y_t
+/// rises; each page's fraction follows the classic exponential profile
+///     x(q) = min(1, (e^{c·Y(q)/w_q} − 1) / k),   c = ln(1 + k),
+/// where Y(q) is the dual mass accumulated in q's interval and w_q its
+/// weight. For linear costs (w_q = w_i fixed) this is the O(log k)-
+/// competitive fractional weighted-caching algorithm of [3]; with
+/// w_q = f'_i(m_i + 1) re-evaluated as tenant miss mass accumulates, it is
+/// the natural fractional analogue of ALG-CONT (a heuristic — the paper
+/// does not analyze it; experiment E9 measures it).
+///
+/// The simulator reports per-tenant *evicted mass* (fractional misses) and
+/// the movement cost Σ w·Δx, the standard fractional objective.
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+struct FractionalResult {
+  /// Per-tenant total evicted fractional mass (analogue of miss counts).
+  std::vector<double> tenant_mass;
+  /// Σ_i f_i(tenant_mass_i) — the paper's objective on fractional mass.
+  double objective = 0.0;
+  /// Movement cost Σ over updates of w_q·Δx(q) (the [3] objective).
+  double movement_cost = 0.0;
+  /// Total dual mass Σ_t y_t raised.
+  double dual_total = 0.0;
+  /// Max constraint violation observed after updates (should be ~0).
+  double max_violation = 0.0;
+};
+
+struct FractionalOptions {
+  /// Re-derive weights from the tenants' marginal costs as mass accrues
+  /// (the convex generalization). When false, weights are f_i'(1), fixed —
+  /// exactly the [3] weighted-caching setting for linear costs.
+  bool adaptive_weights = true;
+  /// Binary-search tolerance on the packing constraint.
+  double tolerance = 1e-9;
+};
+
+/// Runs the fractional algorithm over `trace` with cache size `capacity`.
+[[nodiscard]] FractionalResult run_fractional_caching(
+    const Trace& trace, std::size_t capacity,
+    const std::vector<CostFunctionPtr>& costs, FractionalOptions options = {});
+
+}  // namespace ccc

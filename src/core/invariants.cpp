@@ -1,0 +1,91 @@
+#include "core/invariants.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+bool InvariantReport::ok(double tolerance) const {
+  return primal_feasible && duals_nonnegative && slackness_z &&
+         max_slackness_violation <= tolerance &&
+         min_gradient_slack >= -tolerance;
+}
+
+InvariantReport check_invariants(const PrimalDualRun& run, const Trace& trace,
+                                 std::size_t capacity,
+                                 const std::vector<CostFunctionPtr>& costs) {
+  CCC_REQUIRE(run.events.size() == trace.size(),
+              "transcript length must match the trace");
+  InvariantReport report;
+
+  // (1a) Replay the schedule: residency never exceeds k and the requested
+  // page is resident at the end of its step. This is exactly the ICP
+  // constraint Σ_{p∈B(t)\{p_t}} x(p, j(p,t)) ≥ |B(t)| − k restated in terms
+  // of cache occupancy.
+  std::unordered_set<PageId> cache;
+  for (TimeStep t = 0; t < run.events.size(); ++t) {
+    const StepEvent& event = run.events[t];
+    if (event.request.page != trace[t].page) {
+      report.primal_feasible = false;
+      report.failures.push_back("event/trace mismatch at t=" +
+                                std::to_string(t));
+      break;
+    }
+    if (event.victim.has_value()) {
+      if (!cache.erase(*event.victim)) {
+        report.primal_feasible = false;
+        report.failures.push_back("evicted a non-resident page at t=" +
+                                  std::to_string(t));
+      }
+    }
+    cache.insert(event.request.page);
+    if (cache.size() > capacity) {
+      report.primal_feasible = false;
+      report.failures.push_back("cache overfull at t=" + std::to_string(t));
+    }
+  }
+
+  // (1c) Dual feasibility.
+  for (TimeStep t = 0; t < run.y.size(); ++t)
+    if (run.y[t] < 0.0) {
+      report.duals_nonnegative = false;
+      report.failures.push_back("y_" + std::to_string(t) + " = " +
+                                format_compact(run.y[t]) + " < 0");
+    }
+
+  for (const IntervalRecord& rec : run.intervals) {
+    if (rec.z < 0.0) {
+      report.duals_nonnegative = false;
+      report.failures.push_back("z < 0 on interval of page " +
+                                std::to_string(rec.page));
+    }
+    // (2a) z only on evicted intervals.
+    if (rec.z > 0.0 && !rec.evicted) {
+      report.slackness_z = false;
+      report.failures.push_back("z > 0 with x = 0 on page " +
+                                std::to_string(rec.page));
+    }
+    const CostFunction& f = *costs[rec.tenant];
+    // (2b) Tight residual at set time, preserved to the end of the run.
+    if (rec.evicted) {
+      const double lhs = f.derivative(static_cast<double>(rec.m_at_set)) -
+                         rec.y_in_interval + rec.z;
+      report.max_slackness_violation =
+          std::max(report.max_slackness_violation, std::fabs(lhs));
+    }
+    // (3a) Gradient condition with the *final* miss count (the step where
+    // convexity enters: f' is non-decreasing, so replacing m_at_set with
+    // m(i,T) can only increase the residual).
+    const double lhs_final =
+        f.derivative(static_cast<double>(run.final_m[rec.tenant])) -
+        rec.y_in_interval + rec.z;
+    report.min_gradient_slack =
+        std::min(report.min_gradient_slack, lhs_final);
+  }
+  return report;
+}
+
+}  // namespace ccc

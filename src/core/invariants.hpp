@@ -1,0 +1,40 @@
+#pragma once
+/// \file invariants.hpp
+/// \brief Machine-checkable form of the §2.3 algorithm invariants — the
+///        content of Lemma 2.1, executed instead of hand-proved.
+///
+/// Given the transcript of an ALG-CONT run, verifies:
+///   (1a) primal feasibility — at every time t, at most k pages resident
+///        and the requested page resident after its step;
+///   (1b) x(p,j) ∈ {0,1} (structural, by construction);
+///   (1c) y, z ≥ 0;
+///   (2a) z(p,j) > 0 only if x(p,j) = 1;
+///   (2b) for every evicted interval, evaluated at its set time t̂:
+///        f'_{i(p)}(m(i(p), t̂)) − Σ_interval y_t + z(p,j) = 0;
+///   (3a) for every interval, at the end of the run:
+///        f'_{i(p)}(m(i(p), T)) − Σ_interval y_t + z(p,j) ≥ 0.
+
+#include <string>
+#include <vector>
+
+#include "core/primal_dual.hpp"
+
+namespace ccc {
+
+struct InvariantReport {
+  bool primal_feasible = true;         // (1a)
+  bool duals_nonnegative = true;       // (1c)
+  bool slackness_z = true;             // (2a)
+  double max_slackness_violation = 0.0;  // (2b): max |lhs|
+  double min_gradient_slack = 0.0;     // (3a): min lhs (>= -tol required)
+  std::vector<std::string> failures;   // human-readable diagnostics
+
+  [[nodiscard]] bool ok(double tolerance = 1e-7) const;
+};
+
+/// Verifies the invariants of `run` against the trace it was produced from.
+[[nodiscard]] InvariantReport check_invariants(
+    const PrimalDualRun& run, const Trace& trace, std::size_t capacity,
+    const std::vector<CostFunctionPtr>& costs);
+
+}  // namespace ccc

@@ -1,0 +1,98 @@
+#include "core/naive_convex_caching.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+NaiveConvexCachingPolicy::NaiveConvexCachingPolicy(
+    ConvexCachingOptions options)
+    : options_(options) {}
+
+void NaiveConvexCachingPolicy::reset(const PolicyContext& ctx) {
+  CCC_REQUIRE(ctx.costs != nullptr,
+              "NaiveConvexCachingPolicy needs per-tenant cost functions");
+  costs_ = ctx.costs;
+  budget_.clear();
+  tenant_of_.clear();
+  evictions_.assign(ctx.num_tenants, 0);
+}
+
+double NaiveConvexCachingPolicy::derivative_at(TenantId tenant,
+                                               double next_miss) const {
+  const CostFunction& f = *(*costs_)[tenant];
+  if (options_.derivative == DerivativeMode::kAnalytic)
+    return f.derivative(next_miss);
+  return f.value(next_miss) - f.value(next_miss - 1.0);
+}
+
+void NaiveConvexCachingPolicy::on_hit(const Request& request,
+                                      TimeStep /*time*/) {
+  // "bring in page p_t in cache and update B(p_t) ← f'(m(i(p_t),t−1)+1)"
+  budget_[request.page] = derivative_at(
+      request.tenant, static_cast<double>(evictions_[request.tenant]) + 1.0);
+}
+
+PageId NaiveConvexCachingPolicy::choose_victim(const Request& /*request*/,
+                                               TimeStep /*time*/) {
+  // "Let p be the page in the cache with smallest B(p)."
+  CCC_CHECK(!budget_.empty(),
+            "NaiveConvexCaching asked for a victim with an empty cache");
+  bool found = false;
+  double best = 0.0;
+  PageId best_page = 0;
+  for (const auto& [page, b] : budget_) {
+    if (!found || b < best || (b == best && page < best_page)) {
+      found = true;
+      best = b;
+      best_page = page;
+    }
+  }
+  return best_page;
+}
+
+void NaiveConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
+                                        TimeStep /*time*/) {
+  const auto it = budget_.find(victim);
+  CCC_CHECK(it != budget_.end(),
+            "NaiveConvexCaching evicting an untracked page");
+  const double victim_budget = it->second;
+  budget_.erase(it);
+  tenant_of_.erase(victim);
+
+  // "For each p' ∉ {p, p_t} in the cache, B(p') ← B(p') − B(p)."
+  // (p_t is not yet resident here; it is inserted afterwards.)
+  if (options_.debit_survivors)
+    for (auto& [page, b] : budget_) {
+      (void)page;
+      b -= victim_budget;
+    }
+
+  const std::uint64_t m_before = evictions_[owner]++;
+  // "For each page p' in the cache such that i(p') = i(p):
+  //    B(p') ← B(p') + f'(m+2) − f'(m+1)."
+  if (options_.bump_victim_tenant) {
+    const double delta =
+        derivative_at(owner, static_cast<double>(m_before) + 2.0) -
+        derivative_at(owner, static_cast<double>(m_before) + 1.0);
+    for (auto& [page, b] : budget_)
+      if (tenant_of_.at(page) == owner) b += delta;
+  }
+}
+
+void NaiveConvexCachingPolicy::on_insert(const Request& request,
+                                         TimeStep /*time*/) {
+  // "Set B(p_t) ← f'(m(i(p_t),t−1)+1)" — with m already reflecting this
+  // step's eviction, which together with the same-tenant bump equals the
+  // figure's update order (see DESIGN.md §5).
+  tenant_of_[request.page] = request.tenant;
+  budget_[request.page] = derivative_at(
+      request.tenant, static_cast<double>(evictions_[request.tenant]) + 1.0);
+}
+
+double NaiveConvexCachingPolicy::budget(PageId page) const {
+  const auto it = budget_.find(page);
+  CCC_REQUIRE(it != budget_.end(), "budget() of a non-resident page");
+  return it->second;
+}
+
+}  // namespace ccc

@@ -1,0 +1,43 @@
+#pragma once
+/// \file naive_convex_caching.hpp
+/// \brief Literal, line-by-line transcription of ALG-DISCRETE (Fig. 3),
+///        O(k) per eviction. It exists as the oracle for property tests:
+///        `ConvexCachingPolicy` (the O(log k) production version) must make
+///        identical decisions on identical inputs. Keep this file boring —
+///        its value is that it visibly matches the paper's pseudocode.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/convex_caching.hpp"
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class NaiveConvexCachingPolicy final : public ReplacementPolicy {
+ public:
+  explicit NaiveConvexCachingPolicy(ConvexCachingOptions options = {});
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override {
+    return "ConvexCaching[naive]";
+  }
+
+  [[nodiscard]] double budget(PageId page) const;
+
+ private:
+  [[nodiscard]] double derivative_at(TenantId tenant, double next_miss) const;
+
+  ConvexCachingOptions options_;
+  const std::vector<CostFunctionPtr>* costs_ = nullptr;
+  std::unordered_map<PageId, double> budget_;  ///< B(p) for resident pages
+  std::unordered_map<PageId, TenantId> tenant_of_;
+  std::vector<std::uint64_t> evictions_;       ///< m(i, t)
+};
+
+}  // namespace ccc

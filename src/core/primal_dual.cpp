@@ -1,0 +1,142 @@
+#include "core/primal_dual.hpp"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+double PrimalDualRun::y_total() const {
+  return std::accumulate(y.begin(), y.end(), 0.0);
+}
+
+namespace {
+
+/// Internal per-open-interval bookkeeping keyed by page.
+struct OpenInterval {
+  std::size_t record;      ///< index into PrimalDualRun::intervals
+  double ycum_at_start;    ///< ΣY at the end of the interval's start step
+  double ycum_at_evict = 0.0;  ///< ΣY at the end of the evicting step
+};
+
+}  // namespace
+
+PrimalDualRun run_alg_cont(const Trace& trace, std::size_t capacity,
+                           const std::vector<CostFunctionPtr>& costs) {
+  CCC_REQUIRE(capacity > 0, "cache capacity must be positive");
+  CCC_REQUIRE(costs.size() >= trace.num_tenants(),
+              "need one cost function per tenant");
+
+  PrimalDualRun run(trace.num_tenants());
+  run.y.assign(trace.size(), 0.0);
+  run.final_m.assign(trace.num_tenants(), 0);
+  run.events.reserve(trace.size());
+
+  std::unordered_set<PageId> cache;
+  std::unordered_map<PageId, OpenInterval> open;
+  std::unordered_map<PageId, std::uint32_t> request_count;
+  double ycum = 0.0;
+
+  const auto close_interval = [&](PageId page, TimeStep end_time) {
+    const auto it = open.find(page);
+    CCC_CHECK(it != open.end(), "closing an interval that is not open");
+    IntervalRecord& rec = run.intervals[it->second.record];
+    rec.end = end_time;
+    rec.y_in_interval = ycum - it->second.ycum_at_start;
+    if (rec.evicted) rec.z = ycum - it->second.ycum_at_evict;
+    open.erase(it);
+  };
+
+  const auto open_interval = [&](PageId page, TenantId tenant, TimeStep t) {
+    IntervalRecord rec;
+    rec.page = page;
+    rec.tenant = tenant;
+    rec.index = ++request_count[page];
+    rec.start = t;
+    run.intervals.push_back(rec);
+    open.emplace(page,
+                 OpenInterval{run.intervals.size() - 1, /*ycum_at_start=*/0.0});
+    // ycum_at_start is patched after any y increase of this step completes.
+  };
+
+  for (TimeStep t = 0; t < trace.size(); ++t) {
+    const Request& req = trace[t];
+    StepEvent event;
+    event.request = req;
+
+    // The previous interval of p_t (if any) ends now; its z accrual and
+    // y-mass stop *before* this step's y increase (the constraint at time t
+    // excludes p_t).
+    if (open.contains(req.page)) close_interval(req.page, t);
+
+    if (cache.contains(req.page)) {
+      event.hit = true;
+      run.metrics.record_hit(req.tenant);
+      open_interval(req.page, req.tenant, t);
+      open.at(req.page).ycum_at_start = ycum;
+    } else {
+      run.metrics.record_miss(req.tenant);
+      if (cache.size() >= capacity) {
+        // Increase y_t until the first cached page's residual reaches zero.
+        bool found = false;
+        double min_residual = 0.0;
+        PageId victim = 0;
+        for (const PageId page : cache) {
+          const OpenInterval& oi = open.at(page);
+          const IntervalRecord& rec = run.intervals[oi.record];
+          const double next_marginal = costs[rec.tenant]->derivative(
+              static_cast<double>(run.final_m[rec.tenant]) + 1.0);
+          const double residual =
+              next_marginal - (ycum - oi.ycum_at_start);
+          if (!found || residual < min_residual ||
+              (residual == min_residual && page < victim)) {
+            found = true;
+            min_residual = residual;
+            victim = page;
+          }
+        }
+        CCC_CHECK(found, "eviction needed but the cache is empty");
+        run.y[t] = min_residual;
+        ycum += min_residual;
+
+        OpenInterval& oi = open.at(victim);
+        IntervalRecord& rec = run.intervals[oi.record];
+        rec.evicted = true;
+        rec.evict_time = t;
+        oi.ycum_at_evict = ycum;
+        const TenantId owner = rec.tenant;
+        rec.m_at_set = ++run.final_m[owner];
+        run.metrics.record_eviction(owner);
+        cache.erase(victim);
+        event.victim = victim;
+        event.victim_owner = owner;
+      }
+      cache.insert(req.page);
+      open_interval(req.page, req.tenant, t);
+      open.at(req.page).ycum_at_start = ycum;
+    }
+    run.events.push_back(event);
+  }
+
+  // Close every interval still open at T (both resident pages, with x=0,
+  // and evicted-never-rerequested pages, whose z runs to the end).
+  std::vector<PageId> still_open;
+  still_open.reserve(open.size());
+  for (const auto& [page, oi] : open) {
+    (void)oi;
+    still_open.push_back(page);
+  }
+  for (const PageId page : still_open) {
+    const auto it = open.find(page);
+    IntervalRecord& rec = run.intervals[it->second.record];
+    rec.end = std::nullopt;
+    rec.y_in_interval = ycum - it->second.ycum_at_start;
+    if (rec.evicted) rec.z = ycum - it->second.ycum_at_evict;
+    open.erase(it);
+  }
+  return run;
+}
+
+}  // namespace ccc

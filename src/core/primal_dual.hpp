@@ -1,0 +1,67 @@
+#pragma once
+/// \file primal_dual.hpp
+/// \brief ALG-CONT (paper Fig. 2), simulated exactly.
+///
+/// The paper's continuous algorithm raises the dual variable y_t until the
+/// Lagrangian residual of some cached page hits zero, raising z(p,j) of
+/// every evicted-interval page at the same rate. All continuous increases
+/// collapse to discrete amounts (§2.5): in one request step y_t rises by
+/// exactly the minimum residual
+///     residual(p) = f'_{i(p)}(m(i(p)) + 1) − Σ_{τ ∈ interval(p)} y_τ
+/// over cached pages, and that page is evicted. This simulator tracks the
+/// primal variables x(p,j), the duals y_t and z(p,j), the per-interval
+/// y-mass, and the tenant miss counts — the complete certificate needed to
+/// machine-check the §2.3 invariants (Lemma 2.1) and to feed Lemma 2.2.
+///
+/// The eviction sequence provably coincides with ALG-DISCRETE's: a page's
+/// budget B(p) in Fig. 3 *is* its residual here (y_t rises by B(victim) per
+/// eviction; the debit/bump updates mirror the residual dynamics). A
+/// property test asserts this equality step by step.
+
+#include <optional>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+/// One inter-request interval (p, j): from the j-th request of p (time
+/// `start`) until its (j+1)-st request (`end`, or trace end if absent).
+struct IntervalRecord {
+  PageId page = 0;
+  TenantId tenant = 0;
+  std::uint32_t index = 0;            ///< j, 1-based as in the paper
+  TimeStep start = 0;                 ///< t(p,j)
+  std::optional<TimeStep> end;        ///< t(p,j+1); nullopt = open at T
+  bool evicted = false;               ///< x(p,j)
+  std::optional<TimeStep> evict_time; ///< s(p,j), set when evicted
+  double y_in_interval = 0.0;         ///< Σ_{t=t(p,j)+1}^{t(p,j+1)−1} y_t
+  double z = 0.0;                     ///< z(p,j)
+  /// m(i(p), t̂) — the tenant's eviction count immediately *after* this
+  /// interval's eviction (the argument of f' in invariant 2b).
+  std::uint64_t m_at_set = 0;
+};
+
+/// Complete primal–dual transcript of one ALG-CONT run.
+struct PrimalDualRun {
+  std::vector<IntervalRecord> intervals;
+  std::vector<double> y;               ///< y_t per request step
+  std::vector<std::uint64_t> final_m;  ///< m(i,T) per tenant (evictions)
+  std::vector<StepEvent> events;       ///< hit/miss/victim per step
+  Metrics metrics;                     ///< standard per-tenant accounting
+
+  explicit PrimalDualRun(std::uint32_t num_tenants) : metrics(num_tenants) {}
+
+  [[nodiscard]] double y_total() const;
+};
+
+/// Runs ALG-CONT over `trace` with cache size `capacity`. `costs` must hold
+/// one function per tenant; the guarantee needs them convex, but the
+/// simulation itself does not (§2.5).
+[[nodiscard]] PrimalDualRun run_alg_cont(
+    const Trace& trace, std::size_t capacity,
+    const std::vector<CostFunctionPtr>& costs);
+
+}  // namespace ccc

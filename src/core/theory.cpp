@@ -1,0 +1,66 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+double curvature_alpha(const std::vector<CostFunctionPtr>& costs,
+                       double x_max) {
+  CCC_REQUIRE(!costs.empty(), "need at least one cost function");
+  double alpha = 0.0;
+  for (const auto& f : costs) alpha = std::max(alpha, f->alpha(x_max));
+  return alpha;
+}
+
+double theorem11_bound(const std::vector<CostFunctionPtr>& costs,
+                       const std::vector<std::uint64_t>& opt_misses,
+                       std::size_t k, double alpha) {
+  CCC_REQUIRE(costs.size() >= opt_misses.size(),
+              "need one cost function per tenant");
+  double bound = 0.0;
+  for (std::size_t i = 0; i < opt_misses.size(); ++i)
+    bound += costs[i]->value(alpha * static_cast<double>(k) *
+                             static_cast<double>(opt_misses[i]));
+  return bound;
+}
+
+double corollary12_factor(double beta, std::size_t k) {
+  CCC_REQUIRE(beta >= 1.0, "Corollary 1.2 needs beta >= 1");
+  return std::pow(beta, beta) * std::pow(static_cast<double>(k), beta);
+}
+
+double theorem13_bound(const std::vector<CostFunctionPtr>& costs,
+                       const std::vector<std::uint64_t>& opt_misses,
+                       std::size_t k, std::size_t h, double alpha) {
+  CCC_REQUIRE(h >= 1 && h <= k, "Theorem 1.3 needs 1 <= h <= k");
+  const double blowup = alpha * static_cast<double>(k) /
+                        static_cast<double>(k - h + 1);
+  double bound = 0.0;
+  for (std::size_t i = 0; i < opt_misses.size(); ++i)
+    bound += costs[i]->value(blowup * static_cast<double>(opt_misses[i]));
+  return bound;
+}
+
+double theorem14_lower_factor(std::uint32_t n, double beta) {
+  CCC_REQUIRE(n >= 2, "the lower-bound instance needs at least two tenants");
+  CCC_REQUIRE(beta >= 1.0, "Theorem 1.4 needs beta >= 1");
+  return std::pow(static_cast<double>(n) / 4.0, beta);
+}
+
+double claim23_residual(const CostFunction& f, const std::vector<double>& xs,
+                        double alpha) {
+  double prefix = 0.0;
+  double rhs = 0.0;
+  for (const double x : xs) {
+    CCC_REQUIRE(x >= 0.0, "Claim 2.3 needs non-negative increments");
+    prefix += x;
+    rhs += x * f.derivative(prefix);
+  }
+  const double lhs = f.derivative(prefix) * prefix;
+  return alpha * rhs - lhs;
+}
+
+}  // namespace ccc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file theory.hpp
+/// \brief The paper's guarantee formulas, as executable functions: the
+///        experiments print these next to measured values so each table
+///        reads "bound vs. measured".
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+/// α = sup_{x,i} x·f_i'(x)/f_i(x) over all tenants (Theorem 1.1); the
+/// supremum over x is delegated to each function's closed form / estimator.
+/// The relevant range is x ≤ x_max (at most the total misses possible).
+[[nodiscard]] double curvature_alpha(const std::vector<CostFunctionPtr>& costs,
+                                     double x_max);
+
+/// Theorem 1.1 right-hand side: Σ_i f_i(α·k·b_i) for an offline miss
+/// vector b. Pass alpha explicitly to reuse a precomputed value.
+[[nodiscard]] double theorem11_bound(const std::vector<CostFunctionPtr>& costs,
+                                     const std::vector<std::uint64_t>& opt_misses,
+                                     std::size_t k, double alpha);
+
+/// Corollary 1.2 multiplicative factor for f(x) = x^β: β^β·k^β.
+[[nodiscard]] double corollary12_factor(double beta, std::size_t k);
+
+/// Theorem 1.3 right-hand side: Σ_i f_i(α·k/(k−h+1)·b_i) against an offline
+/// optimum with cache h ≤ k.
+[[nodiscard]] double theorem13_bound(const std::vector<CostFunctionPtr>& costs,
+                                     const std::vector<std::uint64_t>& opt_misses,
+                                     std::size_t k, std::size_t h,
+                                     double alpha);
+
+/// Theorem 1.4's lower-bound factor from the §4 construction with n
+/// single-page tenants and k = n−1: every deterministic online algorithm
+/// pays at least (n/4)^β × OPT.
+[[nodiscard]] double theorem14_lower_factor(std::uint32_t n, double beta);
+
+/// Claim 2.3 residual: RHS − LHS of inequality (4), i.e.
+///   α·Σ_j x_j·f'(Σ_{i≤j} x_i) − f'(Σ x)·Σ x
+/// with α = f'(S)·S/f(S) evaluated at the full sum S (the claim's maximizer
+/// is bounded by the supremum, so using the full-range α keeps the check
+/// conservative when `alpha` is passed from the function's closed form).
+/// Non-negative for convex f — verified by property tests.
+[[nodiscard]] double claim23_residual(const CostFunction& f,
+                                      const std::vector<double>& xs,
+                                      double alpha);
+
+}  // namespace ccc

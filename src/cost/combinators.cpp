@@ -1,0 +1,112 @@
+#include "cost/combinators.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+ScaledCost::ScaledCost(double scale, CostFunctionPtr inner)
+    : scale_(scale), inner_(std::move(inner)) {
+  CCC_REQUIRE(scale > 0.0, "ScaledCost requires a positive scale");
+  CCC_REQUIRE(inner_ != nullptr, "ScaledCost requires an inner function");
+}
+
+double ScaledCost::value(double x) const { return scale_ * inner_->value(x); }
+
+double ScaledCost::derivative(double x) const {
+  return scale_ * inner_->derivative(x);
+}
+
+double ScaledCost::alpha(double x_max) const { return inner_->alpha(x_max); }
+
+std::string ScaledCost::describe() const {
+  return format_compact(scale_) + "*(" + inner_->describe() + ")";
+}
+
+std::unique_ptr<CostFunction> ScaledCost::clone() const {
+  return std::make_unique<ScaledCost>(scale_, inner_->clone());
+}
+
+bool ScaledCost::is_convex() const { return inner_->is_convex(); }
+
+SumCost::SumCost(CostFunctionPtr lhs, CostFunctionPtr rhs)
+    : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+  CCC_REQUIRE(lhs_ != nullptr && rhs_ != nullptr,
+              "SumCost requires two operand functions");
+}
+
+double SumCost::value(double x) const {
+  return lhs_->value(x) + rhs_->value(x);
+}
+
+double SumCost::derivative(double x) const {
+  return lhs_->derivative(x) + rhs_->derivative(x);
+}
+
+std::string SumCost::describe() const {
+  return "(" + lhs_->describe() + ") + (" + rhs_->describe() + ")";
+}
+
+std::unique_ptr<CostFunction> SumCost::clone() const {
+  return std::make_unique<SumCost>(lhs_->clone(), rhs_->clone());
+}
+
+bool SumCost::is_convex() const {
+  return lhs_->is_convex() && rhs_->is_convex();
+}
+
+StepCost::StepCost(double width, double jump) : width_(width), jump_(jump) {
+  CCC_REQUIRE(width > 0.0, "StepCost requires a positive step width");
+  CCC_REQUIRE(jump > 0.0, "StepCost requires a positive jump");
+}
+
+double StepCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  return jump_ * std::floor(x / width_);
+}
+
+double StepCost::derivative(double x) const {
+  // Discrete marginal at floor(x): f(m+1) − f(m), per §2.5.
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  const double m = std::floor(x);
+  return value(m + 1.0) - value(m);
+}
+
+std::string StepCost::describe() const {
+  return "step(width=" + format_compact(width_) +
+         ",jump=" + format_compact(jump_) + ")";
+}
+
+std::unique_ptr<CostFunction> StepCost::clone() const {
+  return std::make_unique<StepCost>(*this);
+}
+
+SqrtCost::SqrtCost(double scale) : scale_(scale) {
+  CCC_REQUIRE(scale > 0.0, "SqrtCost requires a positive scale");
+}
+
+double SqrtCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  return scale_ * std::sqrt(x);
+}
+
+double SqrtCost::derivative(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  if (x == 0.0) return scale_ * 0.5 / std::sqrt(1e-12);
+  return scale_ * 0.5 / std::sqrt(x);
+}
+
+double SqrtCost::alpha(double /*x_max*/) const { return 0.5; }
+
+std::string SqrtCost::describe() const {
+  if (scale_ == 1.0) return "sqrt(x)";
+  return format_compact(scale_) + "*sqrt(x)";
+}
+
+std::unique_ptr<CostFunction> SqrtCost::clone() const {
+  return std::make_unique<SqrtCost>(*this);
+}
+
+}  // namespace ccc

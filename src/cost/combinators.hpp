@@ -1,0 +1,86 @@
+#pragma once
+/// \file combinators.hpp
+/// \brief Cost-function combinators and the non-convex stress shapes used by
+///        the §2.5 generality experiments (E5).
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+/// c·f(x). Scaling does not change α.
+class ScaledCost final : public CostFunction {
+ public:
+  ScaledCost(double scale, CostFunctionPtr inner);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override;
+
+ private:
+  double scale_;
+  CostFunctionPtr inner_;
+};
+
+/// f(x) + g(x). A sum of convex functions is convex; α of the sum is at
+/// most max(α_f, α_g) (weighted mediant), which `alpha` reports via the
+/// numeric estimator for exactness.
+class SumCost final : public CostFunction {
+ public:
+  SumCost(CostFunctionPtr lhs, CostFunctionPtr rhs);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override;
+
+ private:
+  CostFunctionPtr lhs_;
+  CostFunctionPtr rhs_;
+};
+
+/// Staircase penalty: `jump` is charged for each full `width` of misses,
+/// i.e. f(x) = jump·floor(x / width). Discontinuous and non-convex — the
+/// §2.5 case where only the discrete marginal is meaningful. `derivative`
+/// returns the *discrete* marginal at floor(x) so that ALG-DISCRETE (which
+/// evaluates f' at integers) receives f(m+1) − f(m), exactly the §2.5
+/// prescription of "derivatives ... replaced by their discrete versions".
+class StepCost final : public CostFunction {
+ public:
+  StepCost(double width, double jump);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return false; }
+
+ private:
+  double width_;
+  double jump_;
+};
+
+/// Concave shape f(x) = sqrt(x): decreasing marginals — outside the
+/// guarantee of Theorem 1.1 (α = 1/2 < 1 and the analysis needs convexity)
+/// but valid input for the algorithm per §2.5. Used in E5.
+class SqrtCost final : public CostFunction {
+ public:
+  explicit SqrtCost(double scale = 1.0);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return false; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace ccc

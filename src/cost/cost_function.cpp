@@ -1,0 +1,75 @@
+#include "cost/cost_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+double CostFunction::derivative(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  // Central difference away from zero, forward difference at the boundary.
+  const double h = std::max(1e-6, std::fabs(x) * 1e-6);
+  if (x >= h) return (value(x + h) - value(x - h)) / (2.0 * h);
+  return (value(x + h) - value(x)) / h;
+}
+
+double CostFunction::marginal(std::uint64_t misses) const {
+  const double m = static_cast<double>(misses);
+  return value(m + 1.0) - value(m);
+}
+
+double CostFunction::alpha(double x_max) const {
+  return estimate_alpha(*this, x_max);
+}
+
+double estimate_alpha(const CostFunction& f, double x_max,
+                      std::size_t grid_points) {
+  CCC_REQUIRE(x_max > 0.0, "alpha estimation needs a positive range");
+  CCC_REQUIRE(grid_points >= 2, "alpha estimation needs at least two points");
+  // Geometric grid over (x_max * 1e-6, x_max]: the ratio x f'(x)/f(x) of the
+  // functions we care about varies slowly in log-space.
+  const double lo = x_max * 1e-6;
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(x_max);
+  double best = 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(grid_points - 1);
+    const double x = std::exp(log_lo + t * (log_hi - log_lo));
+    const double fx = f.value(x);
+    if (fx <= 0.0) continue;  // f(x)=0 ⇒ ratio defined in the limit only
+    const double ratio = x * f.derivative(x) / fx;
+    best = std::max(best, ratio);
+  }
+  return best;
+}
+
+CallableCost::CallableCost(Fn value_fn, Fn derivative_fn, bool convex,
+                           std::string label)
+    : value_fn_(value_fn),
+      derivative_fn_(derivative_fn),
+      convex_(convex),
+      label_(std::move(label)) {
+  CCC_REQUIRE(value_fn_ != nullptr, "CallableCost needs a value function");
+}
+
+double CallableCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  return value_fn_(x);
+}
+
+double CallableCost::derivative(double x) const {
+  if (derivative_fn_ != nullptr) {
+    CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+    return derivative_fn_(x);
+  }
+  return CostFunction::derivative(x);
+}
+
+std::unique_ptr<CostFunction> CallableCost::clone() const {
+  return std::make_unique<CallableCost>(*this);
+}
+
+}  // namespace ccc

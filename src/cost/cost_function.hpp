@@ -1,0 +1,91 @@
+#pragma once
+/// \file cost_function.hpp
+/// \brief The per-tenant miss-cost model `f_i` from the paper (§1.2).
+///
+/// Each tenant `i` pays `f_i(x)` when it incurs `x` misses. For the
+/// guarantees of Theorems 1.1/1.3 the paper assumes `f` is differentiable,
+/// convex, increasing, non-negative with `f(0) = 0`; the *algorithm* itself
+/// (§2.5) works with arbitrary, even discontinuous, cost functions through
+/// the discrete marginal `f(m+1) − f(m)`. This interface exposes both the
+/// analytic derivative (used by ALG-CONT / ALG-DISCRETE as written in
+/// Figs. 2–3) and the discrete marginal (used by the §2.5 generalization).
+///
+/// The curvature constant of Theorem 1.1 is
+///   `α = sup_x x·f'(x) / f(x)`          (paper Eq. (1) and Claim 2.3);
+/// concrete subclasses provide it in closed form where known and a numeric
+/// supremum estimator is available as a fallback.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ccc {
+
+/// Abstract per-tenant miss-cost function `f : R+ -> R+`.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// f(x). Domain is x >= 0; implementations throw std::invalid_argument
+  /// for negative x.
+  [[nodiscard]] virtual double value(double x) const = 0;
+
+  /// f'(x). The default implementation is a central finite difference; the
+  /// concrete functions in this library all override it with the exact
+  /// derivative.
+  [[nodiscard]] virtual double derivative(double x) const;
+
+  /// Discrete marginal cost of the (m+1)-st miss: f(m+1) − f(m). This is
+  /// the §2.5 replacement for the derivative and never requires
+  /// differentiability (or even continuity).
+  [[nodiscard]] double marginal(std::uint64_t misses) const;
+
+  /// The curvature constant α = sup_{0<x<=x_max} x·f'(x)/f(x). The default
+  /// estimates the supremum numerically on a geometric grid; closed-form
+  /// overrides exist for monomials (α = β), linear functions (α = 1), etc.
+  [[nodiscard]] virtual double alpha(double x_max) const;
+
+  /// Human-readable description, e.g. "x^2" or "pwl[(0,0),(100,0),(200,50)]".
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Deep copy.
+  [[nodiscard]] virtual std::unique_ptr<CostFunction> clone() const = 0;
+
+  /// True when the function is convex on [0, ∞). Used by the theory module
+  /// to decide whether the Theorem 1.1 guarantee applies. Concrete classes
+  /// answer exactly; arbitrary callables answer conservatively.
+  [[nodiscard]] virtual bool is_convex() const = 0;
+};
+
+using CostFunctionPtr = std::unique_ptr<CostFunction>;
+
+/// Numeric supremum of x·f'(x)/f(x) over (0, x_max] on a geometric grid.
+/// Exposed for testing the closed-form overrides against the estimator.
+[[nodiscard]] double estimate_alpha(const CostFunction& f, double x_max,
+                                    std::size_t grid_points = 4096);
+
+/// Wraps an arbitrary callable as a cost function (§2.5: the algorithm does
+/// not need convexity or even continuity). `derivative` falls back to the
+/// finite-difference default unless an explicit derivative is supplied.
+class CallableCost final : public CostFunction {
+ public:
+  using Fn = double (*)(double);
+
+  /// `value_fn` must be non-null; `derivative_fn` may be null (numeric
+  /// fallback). `convex` is the caller's promise used only for reporting.
+  CallableCost(Fn value_fn, Fn derivative_fn, bool convex, std::string label);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] std::string describe() const override { return label_; }
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return convex_; }
+
+ private:
+  Fn value_fn_;
+  Fn derivative_fn_;
+  bool convex_;
+  std::string label_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,30 @@
+#pragma once
+/// \file exponential.hpp
+/// \brief f(x) = a·(e^{b·x} − 1): a convex cost whose curvature constant
+///        grows with the range — a stress case where the Theorem 1.1 bound
+///        degrades gracefully (α = α(x_max) ≈ b·x_max for large ranges).
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+class ExponentialCost final : public CostFunction {
+ public:
+  /// Requires a > 0 and b > 0.
+  ExponentialCost(double a, double b);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  /// Exact: x·f'(x)/f(x) = b·x·e^{bx}/(e^{bx}−1) is increasing, so the
+  /// supremum on (0, x_max] is its value at x_max.
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return true; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,42 @@
+#include "cost/monomial.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+MonomialCost::MonomialCost(double exponent, double scale)
+    : exponent_(exponent), scale_(scale) {
+  CCC_REQUIRE(exponent >= 1.0,
+              "MonomialCost requires exponent >= 1 for convexity");
+  CCC_REQUIRE(scale > 0.0, "MonomialCost requires a positive scale");
+}
+
+double MonomialCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  return scale_ * std::pow(x, exponent_);
+}
+
+double MonomialCost::derivative(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  if (x == 0.0) return exponent_ == 1.0 ? scale_ : 0.0;
+  return scale_ * exponent_ * std::pow(x, exponent_ - 1.0);
+}
+
+double MonomialCost::alpha(double x_max) const {
+  CCC_REQUIRE(x_max > 0.0, "alpha needs a positive range");
+  return exponent_;
+}
+
+std::string MonomialCost::describe() const {
+  if (scale_ == 1.0) return "x^" + format_compact(exponent_);
+  return format_compact(scale_) + "*x^" + format_compact(exponent_);
+}
+
+std::unique_ptr<CostFunction> MonomialCost::clone() const {
+  return std::make_unique<MonomialCost>(*this);
+}
+
+}  // namespace ccc

@@ -1,0 +1,34 @@
+#pragma once
+/// \file monomial.hpp
+/// \brief f(x) = c·x^β — the cost family of Corollary 1.2 and Theorem 1.4.
+///
+/// For β >= 1 the function is convex and its curvature constant is exactly
+/// α = β (the ratio x·f'(x)/f(x) = β everywhere), which yields the paper's
+/// β^β·k^β competitive bound. β = 1 recovers weighted caching with weight c.
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+class MonomialCost final : public CostFunction {
+ public:
+  /// Requires exponent >= 1 (convexity on [0,∞)) and scale > 0.
+  explicit MonomialCost(double exponent, double scale = 1.0);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  /// Exact: α = β independent of the range.
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return true; }
+
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double exponent_;
+  double scale_;
+};
+
+}  // namespace ccc

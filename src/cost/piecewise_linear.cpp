@@ -1,0 +1,107 @@
+#include "cost/piecewise_linear.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+PiecewiseLinearCost::PiecewiseLinearCost(std::vector<Knot> knots,
+                                         double final_slope)
+    : knots_(std::move(knots)) {
+  CCC_REQUIRE(!knots_.empty(), "PiecewiseLinearCost needs at least one knot");
+  CCC_REQUIRE(knots_.front().x == 0.0 && knots_.front().y == 0.0,
+              "the first knot must be (0,0) so that f(0) = 0");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    CCC_REQUIRE(knots_[i].x > knots_[i - 1].x,
+                "knot x-coordinates must be strictly increasing");
+    CCC_REQUIRE(knots_[i].y >= knots_[i - 1].y,
+                "the cost function must be non-decreasing");
+  }
+  slopes_.reserve(knots_.size());
+  for (std::size_t i = 1; i < knots_.size(); ++i)
+    slopes_.push_back((knots_[i].y - knots_[i - 1].y) /
+                      (knots_[i].x - knots_[i - 1].x));
+  const double last =
+      final_slope >= 0.0 ? final_slope : (slopes_.empty() ? 1.0 : slopes_.back());
+  slopes_.push_back(last);
+  for (std::size_t i = 1; i < slopes_.size(); ++i)
+    CCC_REQUIRE(slopes_[i] >= slopes_[i - 1],
+                "slopes must be non-decreasing (convexity)");
+}
+
+PiecewiseLinearCost PiecewiseLinearCost::sla(double tolerated_misses,
+                                             double penalty_per_miss) {
+  CCC_REQUIRE(tolerated_misses >= 0.0, "tolerated miss count must be >= 0");
+  CCC_REQUIRE(penalty_per_miss > 0.0, "SLA penalty must be positive");
+  if (tolerated_misses == 0.0)
+    return PiecewiseLinearCost({{0.0, 0.0}}, penalty_per_miss);
+  return PiecewiseLinearCost({{0.0, 0.0}, {tolerated_misses, 0.0}},
+                             penalty_per_miss);
+}
+
+std::size_t PiecewiseLinearCost::segment_of(double x) const noexcept {
+  // Last knot with knot.x <= x.
+  const auto it =
+      std::upper_bound(knots_.begin(), knots_.end(), x,
+                       [](double v, const Knot& k) { return v < k.x; });
+  return static_cast<std::size_t>(std::distance(knots_.begin(), it)) - 1;
+}
+
+double PiecewiseLinearCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  const std::size_t s = segment_of(x);
+  return knots_[s].y + slopes_[s] * (x - knots_[s].x);
+}
+
+double PiecewiseLinearCost::derivative(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  return slopes_[segment_of(x)];
+}
+
+double PiecewiseLinearCost::alpha(double x_max) const {
+  CCC_REQUIRE(x_max > 0.0, "alpha needs a positive range");
+  // Within a segment the ratio r(x) = x·s/(y_j + s(x−x_j)) is monotone, so
+  // the supremum over (0, x_max] is attained at a segment endpoint (or as a
+  // one-sided limit at a knot where f is still zero).
+  double best = 0.0;
+  const auto ratio_at = [this](double x, std::size_t s) {
+    const double fx = knots_[s].y + slopes_[s] * (x - knots_[s].x);
+    if (fx <= 0.0)
+      return slopes_[s] > 0.0 && x > 0.0
+                 ? std::numeric_limits<double>::infinity()
+                 : 0.0;
+    return x * slopes_[s] / fx;
+  };
+  for (std::size_t s = 0; s < slopes_.size(); ++s) {
+    const double seg_lo = knots_[s].x;
+    if (seg_lo > x_max) break;
+    const double seg_hi =
+        s + 1 < knots_.size() ? std::min(knots_[s + 1].x, x_max) : x_max;
+    // Right limit at the segment start (captures the knee blow-up) and the
+    // value at the segment end.
+    if (seg_lo > 0.0 || slopes_[s] > 0.0)
+      best = std::max(best, ratio_at(std::max(seg_lo, 1e-300), s));
+    best = std::max(best, ratio_at(seg_hi, s));
+  }
+  return best;
+}
+
+std::string PiecewiseLinearCost::describe() const {
+  std::string out = "pwl[";
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    if (i) out += ',';
+    out += '(' + format_compact(knots_[i].x) + ',' +
+           format_compact(knots_[i].y) + ')';
+  }
+  out += "]+slope " + format_compact(slopes_.back());
+  return out;
+}
+
+std::unique_ptr<CostFunction> PiecewiseLinearCost::clone() const {
+  return std::make_unique<PiecewiseLinearCost>(*this);
+}
+
+}  // namespace ccc

@@ -1,0 +1,63 @@
+#pragma once
+/// \file piecewise_linear.hpp
+/// \brief Piecewise-linear convex cost — the paper's motivating SLA shape.
+///
+/// §1.1: "a user can tolerate up to around M misses ... any number of misses
+/// greater than that will result in substantial degradation ... captured
+/// through, e.g., piecewise-linear, convex cost functions." The companion
+/// SQLVM paper [14] models provider refunds the same way. Knots are
+/// (x_0=0, y_0=0), (x_1, y_1), ... with non-decreasing slopes (convexity).
+///
+/// Note the curvature constant: if the function is exactly 0 on an initial
+/// segment and then rises, α = sup x·f'(x)/f(x) is infinite (the ratio blows
+/// up just past the knee). `alpha()` reports +inf in that case — the
+/// Theorem 1.1 guarantee is vacuous, but the algorithm (per §2.5) still
+/// applies and E4/E5 measure how well it does empirically.
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+class PiecewiseLinearCost final : public CostFunction {
+ public:
+  struct Knot {
+    double x;
+    double y;
+  };
+
+  /// Knots must start at (0,0), have strictly increasing x, non-decreasing y,
+  /// and convex (non-decreasing) slopes. Beyond the last knot the final
+  /// slope extends to infinity; `final_slope` overrides it when >= 0.
+  explicit PiecewiseLinearCost(std::vector<Knot> knots,
+                               double final_slope = -1.0);
+
+  /// Convenience SLA constructor: free until `tolerated_misses`, then a
+  /// linear penalty of `penalty_per_miss` per additional miss.
+  [[nodiscard]] static PiecewiseLinearCost sla(double tolerated_misses,
+                                               double penalty_per_miss);
+
+  [[nodiscard]] double value(double x) const override;
+  /// Right derivative (well-defined everywhere, matches f' between knots).
+  [[nodiscard]] double derivative(double x) const override;
+  /// Exact supremum over (0, x_max]; +inf for flat-then-rising shapes.
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return true; }
+
+  [[nodiscard]] const std::vector<Knot>& knots() const noexcept {
+    return knots_;
+  }
+
+ private:
+  /// Index of the segment containing x (segment s spans [knot_s, knot_{s+1}),
+  /// the last segment extends to +inf).
+  [[nodiscard]] std::size_t segment_of(double x) const noexcept;
+
+  std::vector<Knot> knots_;
+  std::vector<double> slopes_;  // slopes_[s] applies on [knots_[s].x, next)
+};
+
+}  // namespace ccc

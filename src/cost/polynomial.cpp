@@ -1,0 +1,61 @@
+#include "cost/polynomial.hpp"
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+PolynomialCost::PolynomialCost(std::vector<double> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  CCC_REQUIRE(coefficients_.size() >= 2,
+              "PolynomialCost needs degree >= 1 (at least two coefficients)");
+  CCC_REQUIRE(coefficients_[0] == 0.0,
+              "PolynomialCost requires f(0) = 0 (zero constant term)");
+  bool any_positive = false;
+  for (const double c : coefficients_) {
+    CCC_REQUIRE(c >= 0.0, "PolynomialCost requires non-negative coefficients");
+    any_positive = any_positive || c > 0.0;
+  }
+  CCC_REQUIRE(any_positive, "PolynomialCost must not be identically zero");
+  while (coefficients_.size() > 2 && coefficients_.back() == 0.0)
+    coefficients_.pop_back();
+}
+
+double PolynomialCost::value(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  double acc = 0.0;  // Horner
+  for (std::size_t d = coefficients_.size(); d-- > 0;)
+    acc = acc * x + coefficients_[d];
+  return acc;
+}
+
+double PolynomialCost::derivative(double x) const {
+  CCC_REQUIRE(x >= 0.0, "cost functions are defined on x >= 0");
+  double acc = 0.0;
+  for (std::size_t d = coefficients_.size(); d-- > 1;)
+    acc = acc * x + coefficients_[d] * static_cast<double>(d);
+  return acc;
+}
+
+double PolynomialCost::alpha(double x_max) const {
+  CCC_REQUIRE(x_max > 0.0, "alpha needs a positive range");
+  return static_cast<double>(degree());
+}
+
+std::string PolynomialCost::describe() const {
+  std::string out;
+  for (std::size_t d = 1; d < coefficients_.size(); ++d) {
+    if (coefficients_[d] == 0.0) continue;
+    if (!out.empty()) out += " + ";
+    if (coefficients_[d] != 1.0 || d == 0)
+      out += format_compact(coefficients_[d]) + "*";
+    out += "x^" + std::to_string(d);
+  }
+  return out;
+}
+
+std::unique_ptr<CostFunction> PolynomialCost::clone() const {
+  return std::make_unique<PolynomialCost>(*this);
+}
+
+}  // namespace ccc

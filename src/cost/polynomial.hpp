@@ -1,0 +1,38 @@
+#pragma once
+/// \file polynomial.hpp
+/// \brief f(x) = Σ_d c_d·x^d with non-negative coefficients and c_0 = 0.
+///
+/// Claim 2.3 notes that for a positive-coefficient polynomial of degree β
+/// the curvature constant is α = β; this class reports that closed form and
+/// the unit tests verify it against the numeric estimator.
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+
+namespace ccc {
+
+class PolynomialCost final : public CostFunction {
+ public:
+  /// `coefficients[d]` multiplies x^d. Requires coefficients[0] == 0
+  /// (f(0) = 0), all coefficients >= 0, and at least one positive
+  /// coefficient of degree >= 1.
+  explicit PolynomialCost(std::vector<double> coefficients);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  /// Exact: α = degree (the supremum is attained as x → ∞).
+  [[nodiscard]] double alpha(double x_max) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
+  [[nodiscard]] bool is_convex() const override { return true; }
+
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return coefficients_.size() - 1;
+  }
+
+ private:
+  std::vector<double> coefficients_;  // index = power
+};
+
+}  // namespace ccc

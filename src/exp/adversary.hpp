@@ -1,0 +1,35 @@
+#pragma once
+/// \file adversary.hpp
+/// \brief The §4 lower-bound construction (Theorem 1.4), executed.
+///
+/// n tenants, one page each, cache size k = n−1. The adaptive adversary
+/// watches the online algorithm's cache and always requests the unique
+/// missing page, forcing an eviction on every request after warm-up. The
+/// run returns both the algorithm's metrics and the generated trace, so the
+/// batch-balancing offline scheme (and OPT bounds) can be evaluated on the
+/// exact same sequence.
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+struct AdversaryRun {
+  Trace trace;            ///< the adaptively generated sequence
+  Metrics alg_metrics;    ///< the online algorithm's accounting on it
+  double alg_cost = 0.0;  ///< Σ f_i(misses_i) for the online algorithm
+
+  explicit AdversaryRun(std::uint32_t num_tenants)
+      : trace(num_tenants), alg_metrics(num_tenants) {}
+};
+
+/// Runs `policy` for `length` requests against the adaptive adversary with
+/// `n` single-page tenants and cache size n−1. `costs` must have n entries.
+[[nodiscard]] AdversaryRun run_adversary(std::uint32_t n, std::size_t length,
+                                         ReplacementPolicy& policy,
+                                         const std::vector<CostFunctionPtr>& costs);
+
+}  // namespace ccc

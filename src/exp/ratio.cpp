@@ -1,0 +1,26 @@
+#include "exp/ratio.hpp"
+
+#include "core/theory.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace ccc {
+
+RatioResult measure_ratio(const Trace& trace, std::size_t capacity,
+                          const std::vector<CostFunctionPtr>& costs,
+                          ReplacementPolicy& policy,
+                          std::size_t exact_page_limit) {
+  RatioResult out;
+  const SimResult run = run_trace(trace, capacity, policy, &costs);
+  out.alg_misses = run.metrics.miss_vector();
+  out.alg_cost = total_cost(out.alg_misses, costs);
+  out.opt = estimate_opt(trace, capacity, costs, exact_page_limit);
+  out.ratio = out.opt.upper_cost > 0.0 ? out.alg_cost / out.opt.upper_cost
+                                       : (out.alg_cost > 0.0 ? 1e308 : 1.0);
+  out.alpha = curvature_alpha(costs, static_cast<double>(trace.size()) + 1.0);
+  out.theorem11_rhs =
+      theorem11_bound(costs, out.opt.upper_misses, capacity, out.alpha);
+  return out;
+}
+
+}  // namespace ccc

@@ -1,0 +1,36 @@
+#pragma once
+/// \file ratio.hpp
+/// \brief Competitive-ratio measurement: run an online policy, bracket the
+///        offline optimum, and compare against the paper's bound.
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "offline/opt_bounds.hpp"
+#include "sim/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+struct RatioResult {
+  double alg_cost = 0.0;
+  std::vector<std::uint64_t> alg_misses;
+  OptEstimate opt;
+  /// alg_cost / opt.upper_cost — a *lower* estimate of the true ratio
+  /// unless opt.exact (then it is exact).
+  double ratio = 0.0;
+  /// Theorem 1.1 right-hand side Σ f_i(α·k·b_i) computed from opt's miss
+  /// vector; the guarantee asserts alg_cost ≤ this when opt is exact.
+  double theorem11_rhs = 0.0;
+  double alpha = 0.0;
+};
+
+/// Runs `policy` on `trace` with cache `capacity` and brackets OPT.
+/// `exact_page_limit` as in estimate_opt.
+[[nodiscard]] RatioResult measure_ratio(
+    const Trace& trace, std::size_t capacity,
+    const std::vector<CostFunctionPtr>& costs, ReplacementPolicy& policy,
+    std::size_t exact_page_limit = 10);
+
+}  // namespace ccc

@@ -1,0 +1,99 @@
+#pragma once
+/// \file multi_pool.hpp
+/// \brief The paper's §5 future-work direction, implemented: multiple
+///        memory pools (one per physical server), each tenant pinned to a
+///        single pool, with a switching cost for migrating a tenant
+///        between pools.
+///
+/// Each pool runs its own replacement policy over its own cache. A
+/// migration drops the tenant's resident pages (they must be re-fetched in
+/// the new pool — the realistic penalty) *and* charges an explicit
+/// switching cost. A greedy rebalancer periodically moves the tenant with
+/// the highest recent marginal cost pressure to the pool with the lowest,
+/// when the estimated gain clears the switching cost.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ccc {
+
+using PolicyFactory =
+    std::function<std::unique_ptr<ReplacementPolicy>()>;
+
+struct MultiPoolOptions {
+  std::vector<std::size_t> pool_capacities;  ///< one entry per pool
+  double switching_cost = 0.0;   ///< charged per migration
+  /// Rebalance cadence in requests; 0 disables automatic rebalancing.
+  std::size_t rebalance_period = 0;
+  std::uint64_t seed = 1;
+};
+
+struct MultiPoolReport {
+  std::vector<std::uint64_t> misses;      ///< per tenant (all pools)
+  std::vector<std::uint64_t> hits;        ///< per tenant
+  std::vector<std::size_t> assignment;    ///< tenant -> pool (final)
+  std::size_t migrations = 0;
+  double switching_cost_paid = 0.0;
+  double miss_cost = 0.0;                 ///< Σ f_i(misses_i)
+  double total_cost = 0.0;                ///< miss_cost + switching
+};
+
+class MultiPoolManager {
+ public:
+  /// `initial_assignment[i]` is tenant i's starting pool. `costs` holds one
+  /// function per tenant and is used both for reporting and by cost-aware
+  /// pool policies.
+  MultiPoolManager(MultiPoolOptions options, PolicyFactory policy_factory,
+                   std::vector<std::size_t> initial_assignment,
+                   const std::vector<CostFunctionPtr>& costs);
+
+  /// Routes the request to the owning tenant's pool.
+  void access(TenantId tenant, PageId page);
+
+  /// Explicit migration; drops the tenant's resident pages in the old pool
+  /// and charges the switching cost. No-op if already there.
+  void migrate(TenantId tenant, std::size_t pool);
+
+  void replay(const Trace& trace);
+
+  [[nodiscard]] MultiPoolReport report() const;
+  [[nodiscard]] std::size_t pool_of(TenantId tenant) const;
+  [[nodiscard]] std::size_t num_pools() const noexcept {
+    return pools_.size();
+  }
+
+ private:
+  /// One physical pool: a policy + a fresh simulator session. Rebuilding a
+  /// session on migration would lose state, so pools are persistent and
+  /// migrations are implemented by flushing the tenant's pages via the
+  /// policy-visible eviction path.
+  struct Pool {
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::unique_ptr<SimulatorSession> session;
+  };
+
+  void maybe_rebalance();
+
+  MultiPoolOptions options_;
+  std::vector<Pool> pools_;
+  std::vector<std::size_t> assignment_;
+  const std::vector<CostFunctionPtr>& costs_;
+  /// Per-tenant miss counts aggregated across pools (sessions are
+  /// per-pool, so a migrating tenant's history must be carried along).
+  std::vector<std::uint64_t> misses_;
+  std::vector<std::uint64_t> hits_;
+  /// Misses per tenant since the last rebalance (pressure signal).
+  std::vector<std::uint64_t> recent_misses_;
+  /// When each tenant last migrated — a freshly moved tenant is left alone
+  /// for two rebalance periods so its working set can settle (prevents
+  /// ping-ponging between pools).
+  std::vector<std::size_t> last_migration_;
+  std::size_t migrations_ = 0;
+  double switching_cost_paid_ = 0.0;
+  std::size_t clock_ = 0;
+};
+
+}  // namespace ccc

@@ -1,0 +1,87 @@
+#include "offline/batch_balance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+BatchBalancePolicy::BatchBalancePolicy(std::size_t batch_length)
+    : batch_length_(batch_length) {
+  CCC_REQUIRE(batch_length >= 1, "batch length must be positive");
+}
+
+void BatchBalancePolicy::reset(const PolicyContext& /*ctx*/) {
+  occurrences_.clear();
+  cursor_.clear();
+  eviction_count_.clear();
+  resident_.clear();
+  previewed_ = false;
+}
+
+void BatchBalancePolicy::preview(const Trace& trace) {
+  for (TimeStep t = 0; t < trace.size(); ++t)
+    occurrences_[trace[t].page].push_back(t);
+  previewed_ = true;
+}
+
+PageId BatchBalancePolicy::choose_victim(const Request& /*request*/,
+                                         TimeStep time) {
+  CCC_CHECK(previewed_, "BatchBalance requires preview()");
+  CCC_CHECK(!resident_.empty(),
+            "BatchBalance asked for a victim with an empty cache");
+  // End of the current batch (exclusive).
+  const TimeStep batch_end = ((time / batch_length_) + 1) * batch_length_;
+
+  // Candidates: resident pages with no request before batch_end. Among
+  // them pick the fewest-evicted (the balancing rule of §4). If no page
+  // qualifies (never happens on the §4 instance) fall back to
+  // furthest-in-future.
+  PageId best_candidate = 0;
+  std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
+  bool have_candidate = false;
+  PageId fallback_page = resident_.front();
+  TimeStep fallback_next = 0;
+  for (const PageId page : resident_) {
+    const auto& occs = occurrences_.at(page);
+    std::size_t& cur = cursor_[page];
+    while (cur < occs.size() && occs[cur] <= time) ++cur;
+    const TimeStep next = cur < occs.size()
+                              ? occs[cur]
+                              : std::numeric_limits<TimeStep>::max();
+    if (next >= fallback_next) {
+      fallback_next = next;
+      fallback_page = page;
+    }
+    if (next >= batch_end) {
+      const std::uint64_t count = eviction_count_[page];
+      if (!have_candidate || count < best_count ||
+          (count == best_count && page < best_candidate)) {
+        have_candidate = true;
+        best_candidate = page;
+        best_count = count;
+      }
+    }
+  }
+  return have_candidate ? best_candidate : fallback_page;
+}
+
+void BatchBalancePolicy::on_evict(PageId victim, TenantId /*owner*/,
+                                  TimeStep /*time*/) {
+  const auto it = std::find(resident_.begin(), resident_.end(), victim);
+  CCC_CHECK(it != resident_.end(), "BatchBalance evicting an untracked page");
+  resident_.erase(it);
+  ++eviction_count_[victim];
+}
+
+void BatchBalancePolicy::on_insert(const Request& request,
+                                   TimeStep /*time*/) {
+  resident_.push_back(request.page);
+}
+
+std::string BatchBalancePolicy::name() const {
+  return "BatchBalance(" + std::to_string(batch_length_) + ")";
+}
+
+}  // namespace ccc

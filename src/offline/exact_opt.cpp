@@ -1,0 +1,176 @@
+#include "offline/exact_opt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+namespace {
+
+using CacheKey = std::vector<PageId>;    // sorted resident set
+using MissVec = std::vector<std::uint32_t>;  // per-tenant miss counts
+
+/// True if a dominates b componentwise (a never worse).
+bool dominates(const MissVec& a, const MissVec& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+/// Inserts `v` into the Pareto front `front` (dominated-vector pruning).
+/// Returns false if `v` was itself dominated.
+bool pareto_insert(std::vector<MissVec>& front, const MissVec& v) {
+  for (const MissVec& existing : front)
+    if (dominates(existing, v)) return false;
+  std::erase_if(front, [&](const MissVec& existing) {
+    return dominates(v, existing);
+  });
+  front.push_back(v);
+  return true;
+}
+
+double vector_cost(const MissVec& v,
+                   const std::vector<CostFunctionPtr>& costs) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    total += costs[i]->value(static_cast<double>(v[i]));
+  return total;
+}
+
+}  // namespace
+
+OptResult exact_opt(const Trace& trace, std::size_t capacity,
+                    const std::vector<CostFunctionPtr>& costs,
+                    std::size_t state_budget) {
+  CCC_REQUIRE(capacity > 0, "cache capacity must be positive");
+  CCC_REQUIRE(costs.size() >= trace.num_tenants(),
+              "need one cost function per tenant");
+
+  std::map<CacheKey, std::vector<MissVec>> states;
+  states.emplace(CacheKey{}, std::vector<MissVec>{
+                                 MissVec(trace.num_tenants(), 0)});
+
+  for (const Request& req : trace) {
+    std::map<CacheKey, std::vector<MissVec>> next;
+    std::size_t state_count = 0;
+
+    const auto add_state = [&](CacheKey key, const MissVec& v) {
+      auto& front = next[std::move(key)];
+      if (pareto_insert(front, v)) ++state_count;
+    };
+
+    for (const auto& [cache, front] : states) {
+      const bool resident =
+          std::binary_search(cache.begin(), cache.end(), req.page);
+      if (resident) {
+        for (const MissVec& v : front) add_state(cache, v);
+        continue;
+      }
+      for (const MissVec& v : front) {
+        MissVec missed = v;
+        ++missed[req.tenant];
+        if (cache.size() < capacity) {
+          CacheKey grown = cache;
+          grown.insert(
+              std::lower_bound(grown.begin(), grown.end(), req.page),
+              req.page);
+          add_state(std::move(grown), missed);
+        } else {
+          for (std::size_t victim = 0; victim < cache.size(); ++victim) {
+            CacheKey swapped = cache;
+            swapped.erase(swapped.begin() + static_cast<std::ptrdiff_t>(victim));
+            swapped.insert(
+                std::lower_bound(swapped.begin(), swapped.end(), req.page),
+                req.page);
+            add_state(std::move(swapped), missed);
+          }
+        }
+      }
+    }
+    if (state_count > state_budget)
+      throw std::runtime_error(
+          "exact_opt: state budget exceeded (" + std::to_string(state_count) +
+          " states) — instance too large for exact solution");
+    states = std::move(next);
+  }
+
+  OptResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (const auto& [cache, front] : states) {
+    (void)cache;
+    for (const MissVec& v : front) {
+      const double c = vector_cost(v, costs);
+      if (c < best.cost) {
+        best.cost = c;
+        best.misses.assign(v.begin(), v.end());
+      }
+    }
+  }
+  CCC_CHECK(!best.misses.empty() || trace.empty(),
+            "exact_opt produced no terminal state");
+  if (trace.empty()) {
+    best.cost = 0.0;
+    best.misses.assign(trace.num_tenants(), 0);
+  }
+  return best;
+}
+
+namespace {
+
+void bruteforce_rec(const Trace& trace, std::size_t capacity,
+                    const std::vector<CostFunctionPtr>& costs, TimeStep t,
+                    CacheKey& cache, MissVec& misses, OptResult& best) {
+  if (t == trace.size()) {
+    const double c = vector_cost(misses, costs);
+    if (c < best.cost) {
+      best.cost = c;
+      best.misses.assign(misses.begin(), misses.end());
+    }
+    return;
+  }
+  const Request& req = trace[t];
+  if (std::binary_search(cache.begin(), cache.end(), req.page)) {
+    bruteforce_rec(trace, capacity, costs, t + 1, cache, misses, best);
+    return;
+  }
+  ++misses[req.tenant];
+  if (cache.size() < capacity) {
+    cache.insert(std::lower_bound(cache.begin(), cache.end(), req.page),
+                 req.page);
+    bruteforce_rec(trace, capacity, costs, t + 1, cache, misses, best);
+    cache.erase(std::find(cache.begin(), cache.end(), req.page));
+  } else {
+    const CacheKey snapshot = cache;
+    for (const PageId victim : snapshot) {
+      cache = snapshot;
+      cache.erase(std::find(cache.begin(), cache.end(), victim));
+      cache.insert(std::lower_bound(cache.begin(), cache.end(), req.page),
+                   req.page);
+      bruteforce_rec(trace, capacity, costs, t + 1, cache, misses, best);
+    }
+    cache = snapshot;
+  }
+  --misses[req.tenant];
+}
+
+}  // namespace
+
+OptResult exact_opt_bruteforce(const Trace& trace, std::size_t capacity,
+                               const std::vector<CostFunctionPtr>& costs) {
+  OptResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  CacheKey cache;
+  MissVec misses(trace.num_tenants(), 0);
+  bruteforce_rec(trace, capacity, costs, 0, cache, misses, best);
+  if (trace.empty()) {
+    best.cost = 0.0;
+    best.misses.assign(trace.num_tenants(), 0);
+  }
+  return best;
+}
+
+}  // namespace ccc

@@ -1,0 +1,42 @@
+#pragma once
+/// \file exact_opt.hpp
+/// \brief The optimal offline algorithm of Theorems 1.1/1.3, computed
+///        exactly (for instances small enough to enumerate).
+///
+/// OPT minimizes Σ_i f_i(b_i) knowing the whole sequence. Because the
+/// objective is a non-linear function of the per-tenant miss vector, plain
+/// Belady is not optimal; we run a layered dynamic program over
+/// (cache contents, per-tenant miss vector) states, pruning miss vectors
+/// that are Pareto-dominated (f_i increasing ⇒ dominated vectors can never
+/// win). Exponential in general — guarded by a state budget — but exact,
+/// which is what the competitive-ratio experiments need (E1/E2).
+///
+/// Misses are fetch-accounted (a_i in Theorem 1.1): a miss of tenant i's
+/// page charges tenant i, matching the theorem statement.
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+struct OptResult {
+  double cost = 0.0;
+  std::vector<std::uint64_t> misses;  ///< b_i(σ) of the optimal solution
+};
+
+/// Exact optimum. Throws std::runtime_error if the reachable state count
+/// exceeds `state_budget` (instance too large to solve exactly).
+[[nodiscard]] OptResult exact_opt(const Trace& trace, std::size_t capacity,
+                                  const std::vector<CostFunctionPtr>& costs,
+                                  std::size_t state_budget = 2'000'000);
+
+/// Plain recursive enumeration over all victim choices — exponential in the
+/// number of misses; only for tiny cross-check instances in tests.
+[[nodiscard]] OptResult exact_opt_bruteforce(
+    const Trace& trace, std::size_t capacity,
+    const std::vector<CostFunctionPtr>& costs);
+
+}  // namespace ccc

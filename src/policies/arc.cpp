@@ -1,0 +1,131 @@
+#include "policies/arc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void ArcPolicy::reset(const PolicyContext& ctx) {
+  capacity_ = ctx.capacity;
+  p_ = 0.0;
+  adapted_this_step_ = false;
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  entries_.clear();
+}
+
+std::list<PageId>& ArcPolicy::list_of(ListId id) {
+  switch (id) {
+    case ListId::kT1: return t1_;
+    case ListId::kT2: return t2_;
+    case ListId::kB1: return b1_;
+    default: return b2_;
+  }
+}
+
+void ArcPolicy::move_to_front(PageId page, ListId to) {
+  erase_entry(page);
+  std::list<PageId>& target = list_of(to);
+  target.push_front(page);
+  entries_[page] = Entry{to, target.begin()};
+}
+
+void ArcPolicy::erase_entry(PageId page) {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) return;
+  list_of(it->second.where).erase(it->second.it);
+  entries_.erase(it);
+}
+
+void ArcPolicy::trim_ghosts() {
+  // ARC invariants: |T1|+|B1| <= c and the four lists together <= 2c.
+  while (t1_.size() + b1_.size() > capacity_ && !b1_.empty()) {
+    entries_.erase(b1_.back());
+    b1_.pop_back();
+  }
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * capacity_ &&
+         !b2_.empty()) {
+    entries_.erase(b2_.back());
+    b2_.pop_back();
+  }
+}
+
+void ArcPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  const auto it = entries_.find(request.page);
+  CCC_CHECK(it != entries_.end() && (it->second.where == ListId::kT1 ||
+                                     it->second.where == ListId::kT2),
+            "ARC lost track of a resident page");
+  // Any resident hit promotes to the MRU of T2 (now seen more than once).
+  move_to_front(request.page, ListId::kT2);
+}
+
+PageId ArcPolicy::choose_victim(const Request& request, TimeStep /*time*/) {
+  // The original ARC adapts p *before* REPLACE; do it here so the victim
+  // choice sees the updated target, and remember so on_insert won't adapt
+  // twice.
+  adapt(request.page);
+  adapted_this_step_ = true;
+  // REPLACE(x): evict from T1 if it exceeds the target (with the B2-hit
+  // tie-break), else from T2.
+  const auto ghost = entries_.find(request.page);
+  const bool in_b2 =
+      ghost != entries_.end() && ghost->second.where == ListId::kB2;
+  const bool take_t1 =
+      !t1_.empty() &&
+      (static_cast<double>(t1_.size()) > p_ ||
+       (in_b2 && static_cast<double>(t1_.size()) == p_));
+  if (take_t1) return t1_.back();
+  if (!t2_.empty()) return t2_.back();
+  CCC_CHECK(!t1_.empty(), "ARC asked for a victim with an empty cache");
+  return t1_.back();
+}
+
+void ArcPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                         TimeStep /*time*/) {
+  const auto it = entries_.find(victim);
+  CCC_CHECK(it != entries_.end(), "ARC evicting an untracked page");
+  const ListId from = it->second.where;
+  CCC_CHECK(from == ListId::kT1 || from == ListId::kT2,
+            "ARC evicting a ghost");
+  // Demote to the matching ghost list.
+  move_to_front(victim, from == ListId::kT1 ? ListId::kB1 : ListId::kB2);
+  trim_ghosts();
+}
+
+void ArcPolicy::adapt(PageId page) {
+  const auto it = entries_.find(page);
+  if (it == entries_.end()) return;
+  const double c = static_cast<double>(capacity_);
+  if (it->second.where == ListId::kB1) {
+    // Ghost hit in B1: recency is under-provisioned — grow p.
+    const double delta =
+        std::max(1.0, static_cast<double>(b2_.size()) /
+                          static_cast<double>(
+                              std::max<std::size_t>(1, b1_.size())));
+    p_ = std::min(c, p_ + delta);
+  } else if (it->second.where == ListId::kB2) {
+    // Ghost hit in B2: frequency is under-provisioned — shrink p.
+    const double delta =
+        std::max(1.0, static_cast<double>(b1_.size()) /
+                          static_cast<double>(
+                              std::max<std::size_t>(1, b2_.size())));
+    p_ = std::max(0.0, p_ - delta);
+  }
+}
+
+void ArcPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  if (!adapted_this_step_) adapt(request.page);
+  adapted_this_step_ = false;
+  const auto it = entries_.find(request.page);
+  const bool was_ghost =
+      it != entries_.end() && (it->second.where == ListId::kB1 ||
+                               it->second.where == ListId::kB2);
+  // Ghosts promote straight to T2; brand-new pages start probationary.
+  move_to_front(request.page, was_ghost ? ListId::kT2 : ListId::kT1);
+  trim_ghosts();
+}
+
+}  // namespace ccc

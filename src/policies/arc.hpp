@@ -1,0 +1,59 @@
+#pragma once
+/// \file arc.hpp
+/// \brief ARC (Megiddo & Modha, FAST'03) — adaptive replacement cache.
+///
+/// Two resident lists: T1 (recency, seen once) and T2 (frequency, seen at
+/// least twice), plus ghost lists B1/B2 remembering recently evicted pages.
+/// A ghost hit in B1 says "recency is winning — grow T1's target p"; a
+/// ghost hit in B2 says the opposite. The REPLACE rule evicts from T1 when
+/// it exceeds its target, else from T2.
+///
+/// Adapted to this library's simulator-driven interface: membership
+/// classification and the adaptation of `p` happen on insert (when we know
+/// whether the page was a B1/B2 ghost); ghost-list trimming keeps the ARC
+/// constraints |T1|+|B1| ≤ c and |T1|+|T2|+|B1|+|B2| ≤ 2c. The original's
+/// corner case IV(a) (evicting from a full T1 without ghosting) is ghosted
+/// and immediately trimmed — behaviourally equivalent.
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "ARC"; }
+
+  /// Current recency target p (diagnostics / tests).
+  [[nodiscard]] double target_p() const noexcept { return p_; }
+
+ private:
+  enum class ListId { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    ListId where;
+    std::list<PageId>::iterator it;
+  };
+
+  std::list<PageId>& list_of(ListId id);
+  void move_to_front(PageId page, ListId to);
+  void erase_entry(PageId page);
+  void trim_ghosts();
+  /// Adjusts p on a B1/B2 ghost hit for `page`; no-op otherwise.
+  void adapt(PageId page);
+
+  std::size_t capacity_ = 0;
+  double p_ = 0.0;  ///< adaptive target size of T1
+  bool adapted_this_step_ = false;
+  std::list<PageId> t1_, t2_, b1_, b2_;  ///< front = MRU
+  std::unordered_map<PageId, Entry> entries_;
+};
+
+}  // namespace ccc

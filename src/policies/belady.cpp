@@ -1,0 +1,67 @@
+#include "policies/belady.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void BeladyPolicy::reset(const PolicyContext& /*ctx*/) {
+  occurrences_.clear();
+  cursor_.clear();
+  resident_.clear();
+  previewed_ = false;
+}
+
+void BeladyPolicy::preview(const Trace& trace) {
+  for (TimeStep t = 0; t < trace.size(); ++t)
+    occurrences_[trace[t].page].push_back(t);
+  previewed_ = true;
+}
+
+PageId BeladyPolicy::choose_victim(const Request& /*request*/,
+                                   TimeStep time) {
+  CCC_CHECK(previewed_, "Belady requires preview() with the full trace");
+  CCC_CHECK(!resident_.empty(),
+            "Belady asked for a victim with an empty cache");
+  PageId best_page = resident_.front();
+  TimeStep best_next = 0;
+  bool best_never = false;
+  bool found = false;
+  for (const PageId page : resident_) {
+    // Advance this page's cursor past `time` to find its next use.
+    const auto& occs = occurrences_.at(page);
+    std::size_t& cur = cursor_[page];
+    while (cur < occs.size() && occs[cur] <= time) ++cur;
+    const bool never = cur >= occs.size();
+    const TimeStep next = never ? std::numeric_limits<TimeStep>::max()
+                                : occs[cur];
+    const bool better = [&] {
+      if (!found) return true;
+      if (never != best_never) return never;  // never-used-again first
+      if (next != best_next) return next > best_next;
+      return page < best_page;
+    }();
+    if (better) {
+      found = true;
+      best_page = page;
+      best_next = next;
+      best_never = never;
+    }
+  }
+  return best_page;
+}
+
+void BeladyPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                            TimeStep /*time*/) {
+  const auto it = std::find(resident_.begin(), resident_.end(), victim);
+  CCC_CHECK(it != resident_.end(), "Belady evicting an untracked page");
+  resident_.erase(it);
+}
+
+void BeladyPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  resident_.push_back(request.page);
+}
+
+}  // namespace ccc

@@ -1,0 +1,34 @@
+#pragma once
+/// \file belady.hpp
+/// \brief Belady's MIN / OPT (furthest-in-future) — the offline policy that
+///        minimizes the *total* number of misses. For a single tenant with a
+///        linear cost it is the optimal offline algorithm of Theorem 1.1;
+///        for convex multi-tenant objectives it is only a (good) heuristic
+///        and a certified lower bound on Σ_i b_i.
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class BeladyPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void preview(const Trace& trace) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "Belady"; }
+
+ private:
+  /// next_use_[page] = sorted positions at which `page` is requested.
+  std::unordered_map<PageId, std::vector<TimeStep>> occurrences_;
+  std::unordered_map<PageId, std::size_t> cursor_;  ///< per-page scan index
+  std::vector<PageId> resident_;
+  bool previewed_ = false;
+};
+
+}  // namespace ccc

@@ -1,0 +1,63 @@
+#include "policies/clock.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void ClockPolicy::reset(const PolicyContext& /*ctx*/) {
+  ring_.clear();
+  where_.clear();
+  hand_ = ring_.end();
+}
+
+void ClockPolicy::advance_hand() {
+  CCC_CHECK(!ring_.empty(), "clock hand on an empty ring");
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  ++hand_;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+void ClockPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  const auto it = where_.find(request.page);
+  CCC_CHECK(it != where_.end(), "Clock lost track of a resident page");
+  it->second->referenced = true;
+}
+
+PageId ClockPolicy::choose_victim(const Request& /*request*/,
+                                  TimeStep /*time*/) {
+  CCC_CHECK(!ring_.empty(), "Clock asked for a victim with an empty cache");
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  // Sweep: clear reference bits until an unreferenced page is under the
+  // hand. Terminates within two sweeps.
+  for (std::size_t step = 0; step <= 2 * ring_.size(); ++step) {
+    if (!hand_->referenced) return hand_->page;
+    hand_->referenced = false;
+    advance_hand();
+  }
+  CCC_CHECK(false, "clock sweep failed to find a victim");
+  return 0;  // unreachable
+}
+
+void ClockPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                           TimeStep /*time*/) {
+  const auto it = where_.find(victim);
+  CCC_CHECK(it != where_.end(), "Clock evicting an untracked page");
+  // Move the hand off the victim before erasing.
+  if (hand_ == it->second) {
+    ++hand_;
+    if (hand_ == ring_.end() && ring_.size() > 1) hand_ = ring_.begin();
+  }
+  ring_.erase(it->second);
+  if (ring_.empty()) hand_ = ring_.end();
+  where_.erase(it);
+}
+
+void ClockPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  // Insert just before the hand (the "oldest" position) with the bit set.
+  const auto pos = hand_ == ring_.end() ? ring_.end() : hand_;
+  const auto it = ring_.insert(pos, Entry{request.page, true});
+  where_[request.page] = it;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+}  // namespace ccc

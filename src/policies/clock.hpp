@@ -1,0 +1,38 @@
+#pragma once
+/// \file clock.hpp
+/// \brief CLOCK (second-chance): the classic O(1) LRU approximation used by
+///        real OS page caches. Pages sit on a circular list with a
+///        reference bit; the hand sweeps, clearing bits, and evicts the
+///        first unreferenced page it meets.
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "Clock"; }
+
+ private:
+  struct Entry {
+    PageId page;
+    bool referenced;
+  };
+
+  std::list<Entry> ring_;
+  std::list<Entry>::iterator hand_ = ring_.end();
+  std::unordered_map<PageId, std::list<Entry>::iterator> where_;
+
+  void advance_hand();
+};
+
+}  // namespace ccc

@@ -1,0 +1,43 @@
+#include "policies/fifo.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void FifoPolicy::reset(const PolicyContext& /*ctx*/) {
+  queue_.clear();
+  resident_.clear();
+}
+
+PageId FifoPolicy::choose_victim(const Request& /*request*/,
+                                 TimeStep /*time*/) {
+  // Lazily skip entries for pages already evicted (duplicates never occur
+  // because a page is enqueued only on insert and dequeued on evict).
+  CCC_CHECK(!queue_.empty(), "FIFO asked for a victim with an empty cache");
+  return queue_.front();
+}
+
+void FifoPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                          TimeStep /*time*/) {
+  CCC_CHECK(!queue_.empty(), "FIFO evicting from an empty queue");
+  if (queue_.front() == victim) {
+    queue_.pop_front();  // the normal, policy-chosen eviction
+  } else {
+    // Forced invalidation (e.g. multipool migration) may remove any page.
+    const auto it = std::find(queue_.begin(), queue_.end(), victim);
+    CCC_CHECK(it != queue_.end(), "FIFO evicting an untracked page");
+    queue_.erase(it);
+  }
+  resident_.erase(victim);
+}
+
+void FifoPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  const auto [it, inserted] = resident_.insert(request.page);
+  (void)it;
+  CCC_CHECK(inserted, "FIFO double-insert");
+  queue_.push_back(request.page);
+}
+
+}  // namespace ccc

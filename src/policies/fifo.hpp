@@ -1,0 +1,27 @@
+#pragma once
+/// \file fifo.hpp
+/// \brief First-In-First-Out: evicts the page resident the longest,
+///        regardless of use.
+
+#include <deque>
+#include <unordered_set>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+ private:
+  std::deque<PageId> queue_;  ///< front = oldest insertion
+  std::unordered_set<PageId> resident_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,51 @@
+#pragma once
+/// \file landlord.hpp
+/// \brief Landlord / GreedyDual for *weighted* caching (Young [20]) — the
+///        strongest prior-art baseline the paper generalizes. Each resident
+///        page holds credit equal to its tenant's weight; eviction removes
+///        the minimum-credit page and debits every survivor by that credit
+///        (implemented with the standard global-offset trick, O(log) per op).
+///
+/// Weights: tenant i's weight defaults to f_i'(1) — the marginal cost of its
+/// first miss — which is exactly w_i for linear cost functions and a
+/// "static linearization" of a convex f_i otherwise. E4 uses this as the
+/// cost-aware-but-convexity-blind baseline.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class LandlordPolicy final : public ReplacementPolicy {
+ public:
+  /// If `weights` is empty, weights are derived from ctx.costs at reset()
+  /// as f_i'(1); ctx.costs must then be non-null.
+  explicit LandlordPolicy(std::vector<double> weights = {});
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "Landlord"; }
+
+ private:
+  /// Effective credit of a stored entry = key − offset_. Keys are absolute
+  /// (weight at set time + offset at set time) so the debit-all step is a
+  /// single offset_ increase.
+  using Key = std::pair<double, PageId>;
+
+  void set_credit(PageId page, TenantId tenant);
+
+  std::vector<double> configured_weights_;
+  std::vector<double> weights_;
+  double offset_ = 0.0;
+  std::map<Key, PageId> order_;
+  std::unordered_map<PageId, double> key_of_;
+};
+
+}  // namespace ccc

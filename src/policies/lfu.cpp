@@ -1,0 +1,50 @@
+#include "policies/lfu.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void LfuPolicy::reset(const PolicyContext& /*ctx*/) {
+  resident_.clear();
+  global_frequency_.clear();
+  order_.clear();
+}
+
+void LfuPolicy::touch(PageId page, TimeStep time, bool bump) {
+  auto it = resident_.find(page);
+  CCC_CHECK(it != resident_.end(), "LFU lost track of a resident page");
+  order_.erase(Key{it->second.frequency, it->second.last_touch, page});
+  if (bump) ++it->second.frequency;
+  it->second.last_touch = time;
+  order_.emplace(Key{it->second.frequency, it->second.last_touch, page}, page);
+}
+
+void LfuPolicy::on_hit(const Request& request, TimeStep time) {
+  ++global_frequency_[request.page];
+  touch(request.page, time, /*bump=*/true);
+}
+
+PageId LfuPolicy::choose_victim(const Request& /*request*/,
+                                TimeStep /*time*/) {
+  CCC_CHECK(!order_.empty(), "LFU asked for a victim with an empty cache");
+  return order_.begin()->second;
+}
+
+void LfuPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                         TimeStep /*time*/) {
+  const auto it = resident_.find(victim);
+  CCC_CHECK(it != resident_.end(), "LFU evicting an untracked page");
+  order_.erase(Key{it->second.frequency, it->second.last_touch, victim});
+  resident_.erase(it);
+}
+
+void LfuPolicy::on_insert(const Request& request, TimeStep time) {
+  const std::uint64_t freq = ++global_frequency_[request.page];
+  const auto [it, inserted] =
+      resident_.emplace(request.page, Entry{freq, time});
+  (void)it;
+  CCC_CHECK(inserted, "LFU double-insert");
+  order_.emplace(Key{freq, time, request.page}, request.page);
+}
+
+}  // namespace ccc

@@ -1,0 +1,38 @@
+#pragma once
+/// \file lfu.hpp
+/// \brief Least-Frequently-Used with LRU tie-breaking. Frequency counts
+///        persist across evictions (classic "perfect LFU").
+
+#include <map>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+
+ private:
+  struct Entry {
+    std::uint64_t frequency;
+    TimeStep last_touch;
+  };
+  /// Ordered key (frequency, last_touch, page): begin() is the victim.
+  using Key = std::tuple<std::uint64_t, TimeStep, PageId>;
+
+  void touch(PageId page, TimeStep time, bool bump);
+
+  std::unordered_map<PageId, Entry> resident_;
+  std::unordered_map<PageId, std::uint64_t> global_frequency_;
+  std::map<Key, PageId> order_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,41 @@
+#include "policies/lru.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void LruPolicy::reset(const PolicyContext& /*ctx*/) {
+  order_.clear();
+  where_.clear();
+}
+
+void LruPolicy::touch(PageId page) {
+  const auto it = where_.find(page);
+  CCC_CHECK(it != where_.end(), "LRU lost track of a resident page");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  touch(request.page);
+}
+
+PageId LruPolicy::choose_victim(const Request& /*request*/,
+                                TimeStep /*time*/) {
+  CCC_CHECK(!order_.empty(), "LRU asked for a victim with an empty cache");
+  return order_.back();
+}
+
+void LruPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                         TimeStep /*time*/) {
+  const auto it = where_.find(victim);
+  CCC_CHECK(it != where_.end(), "LRU evicting an untracked page");
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+void LruPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  order_.push_front(request.page);
+  where_[request.page] = order_.begin();
+}
+
+}  // namespace ccc

@@ -1,0 +1,31 @@
+#pragma once
+/// \file lru.hpp
+/// \brief Least-Recently-Used — the classical k-competitive baseline
+///        (Sleator–Tarjan [19]); tenant-oblivious.
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+
+ private:
+  void touch(PageId page);
+
+  /// Recency order: front = most recent, back = least recent.
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,79 @@
+#include "policies/lru_k.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+LruKPolicy::LruKPolicy(std::size_t k_history) : k_history_(k_history) {
+  CCC_REQUIRE(k_history >= 1, "LRU-K requires K >= 1");
+}
+
+void LruKPolicy::reset(const PolicyContext& /*ctx*/) {
+  history_.clear();
+  resident_last_touch_.clear();
+}
+
+void LruKPolicy::record_reference(PageId page, TimeStep time) {
+  auto& refs = history_[page];
+  refs.push_back(time);
+  if (refs.size() > k_history_) refs.pop_front();
+}
+
+std::optional<TimeStep> LruKPolicy::kth_reference(PageId page) const {
+  const auto it = history_.find(page);
+  if (it == history_.end() || it->second.size() < k_history_)
+    return std::nullopt;
+  return it->second.front();
+}
+
+void LruKPolicy::on_hit(const Request& request, TimeStep time) {
+  record_reference(request.page, time);
+  resident_last_touch_[request.page] = time;
+}
+
+PageId LruKPolicy::choose_victim(const Request& /*request*/,
+                                 TimeStep /*time*/) {
+  CCC_CHECK(!resident_last_touch_.empty(),
+            "LRU-K asked for a victim with an empty cache");
+  // Victim: first any page with < K references (oldest last touch wins),
+  // otherwise the page with the oldest K-th reference.
+  bool best_is_infinite = false;
+  PageId best_page = 0;
+  TimeStep best_key = 0;
+  bool found = false;
+  for (const auto& [page, last_touch] : resident_last_touch_) {
+    const auto kth = kth_reference(page);
+    const bool infinite = !kth.has_value();
+    const TimeStep key = infinite ? last_touch : *kth;
+    const bool better = [&] {
+      if (!found) return true;
+      if (infinite != best_is_infinite) return infinite;  // ∞-distance first
+      if (key != best_key) return key < best_key;
+      return page < best_page;  // deterministic tie-break
+    }();
+    if (better) {
+      found = true;
+      best_is_infinite = infinite;
+      best_page = page;
+      best_key = key;
+    }
+  }
+  return best_page;
+}
+
+void LruKPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                          TimeStep /*time*/) {
+  const auto erased = resident_last_touch_.erase(victim);
+  CCC_CHECK(erased == 1, "LRU-K evicting an untracked page");
+}
+
+void LruKPolicy::on_insert(const Request& request, TimeStep time) {
+  record_reference(request.page, time);
+  resident_last_touch_[request.page] = time;
+}
+
+std::string LruKPolicy::name() const {
+  return "LRU-" + std::to_string(k_history_);
+}
+
+}  // namespace ccc

@@ -1,0 +1,39 @@
+#pragma once
+/// \file lru_k.hpp
+/// \brief LRU-K (O'Neil, O'Neil & Weikum [16]): evicts the page whose K-th
+///        most recent reference is oldest; pages with fewer than K
+///        references rank before all others (backward K-distance = ∞),
+///        ordered among themselves by plain recency. Reference history
+///        persists across evictions, as in the original paper.
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class LruKPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruKPolicy(std::size_t k_history = 2);
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  void record_reference(PageId page, TimeStep time);
+  /// K-th most recent reference time, or nullopt if fewer than K refs.
+  [[nodiscard]] std::optional<TimeStep> kth_reference(PageId page) const;
+
+  std::size_t k_history_;
+  std::unordered_map<PageId, std::deque<TimeStep>> history_;
+  std::unordered_map<PageId, TimeStep> resident_last_touch_;
+};
+
+}  // namespace ccc

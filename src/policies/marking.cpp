@@ -1,0 +1,61 @@
+#include "policies/marking.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void MarkingPolicy::reset(const PolicyContext& /*ctx*/) {
+  resident_.clear();
+  unmarked_lru_.clear();
+}
+
+void MarkingPolicy::mark(PageId page) {
+  auto it = resident_.find(page);
+  CCC_CHECK(it != resident_.end(), "Marking lost track of a resident page");
+  if (!it->second.marked) {
+    unmarked_lru_.erase(it->second.lru_it);
+    it->second.marked = true;
+  }
+}
+
+void MarkingPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  mark(request.page);
+}
+
+PageId MarkingPolicy::choose_victim(const Request& /*request*/,
+                                    TimeStep /*time*/) {
+  if (unmarked_lru_.empty()) {
+    // Phase end: clear all marks; everything becomes unmarked in recency
+    // order (resident_ iteration order is unspecified, so rebuild by page id
+    // for determinism).
+    for (auto& [page, entry] : resident_) {
+      entry.marked = false;
+      unmarked_lru_.push_back(page);
+      entry.lru_it = std::prev(unmarked_lru_.end());
+    }
+    unmarked_lru_.sort();
+    for (auto it = unmarked_lru_.begin(); it != unmarked_lru_.end(); ++it)
+      resident_[*it].lru_it = it;
+  }
+  CCC_CHECK(!unmarked_lru_.empty(),
+            "Marking asked for a victim with an empty cache");
+  return unmarked_lru_.back();
+}
+
+void MarkingPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                             TimeStep /*time*/) {
+  const auto it = resident_.find(victim);
+  CCC_CHECK(it != resident_.end(), "Marking evicting an untracked page");
+  if (!it->second.marked) unmarked_lru_.erase(it->second.lru_it);
+  resident_.erase(it);
+}
+
+void MarkingPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  // Newly fetched pages are marked (they were just accessed).
+  const auto [it, inserted] =
+      resident_.emplace(request.page, Entry{true, unmarked_lru_.end()});
+  (void)it;
+  CCC_CHECK(inserted, "Marking double-insert");
+}
+
+}  // namespace ccc

@@ -1,0 +1,38 @@
+#pragma once
+/// \file marking.hpp
+/// \brief Deterministic marking algorithm: pages are marked on access;
+///        victims come from the unmarked set (LRU among unmarked); when
+///        every resident page is marked and a miss occurs, a new phase
+///        begins and all marks clear.
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class MarkingPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "Marking"; }
+
+ private:
+  struct Entry {
+    bool marked;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  void mark(PageId page);
+
+  std::unordered_map<PageId, Entry> resident_;
+  /// LRU order over *unmarked* pages only; back = least recent.
+  std::list<PageId> unmarked_lru_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,38 @@
+#include "policies/random_policy.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void RandomPolicy::reset(const PolicyContext& ctx) {
+  pages_.clear();
+  index_.clear();
+  rng_ = Rng(ctx.seed);
+}
+
+PageId RandomPolicy::choose_victim(const Request& /*request*/,
+                                   TimeStep /*time*/) {
+  CCC_CHECK(!pages_.empty(), "Random asked for a victim with an empty cache");
+  return pages_[rng_.next_below(pages_.size())];
+}
+
+void RandomPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                            TimeStep /*time*/) {
+  const auto it = index_.find(victim);
+  CCC_CHECK(it != index_.end(), "Random evicting an untracked page");
+  const std::size_t pos = it->second;
+  const PageId last = pages_.back();
+  pages_[pos] = last;
+  index_[last] = pos;
+  pages_.pop_back();
+  index_.erase(it);
+}
+
+void RandomPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  const auto [it, inserted] = index_.emplace(request.page, pages_.size());
+  (void)it;
+  CCC_CHECK(inserted, "Random double-insert");
+  pages_.push_back(request.page);
+}
+
+}  // namespace ccc

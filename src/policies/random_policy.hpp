@@ -1,0 +1,29 @@
+#pragma once
+/// \file random_policy.hpp
+/// \brief Uniform-random eviction (seeded; fully reproducible).
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ccc {
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  /// Dense array + index map for O(1) uniform sampling and removal.
+  std::vector<PageId> pages_;
+  std::unordered_map<PageId, std::size_t> index_;
+  Rng rng_{1};
+};
+
+}  // namespace ccc

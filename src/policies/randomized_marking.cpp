@@ -1,0 +1,69 @@
+#include "policies/randomized_marking.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void RandomizedMarkingPolicy::reset(const PolicyContext& ctx) {
+  resident_.clear();
+  unmarked_.clear();
+  rng_ = Rng(ctx.seed);
+}
+
+void RandomizedMarkingPolicy::remove_from_unmarked(PageId page) {
+  const auto it = resident_.find(page);
+  CCC_CHECK(it != resident_.end() && !it->second.marked,
+            "page is not in the unmarked set");
+  const std::size_t pos = it->second.unmarked_index;
+  const PageId last = unmarked_.back();
+  unmarked_[pos] = last;
+  resident_.at(last).unmarked_index = pos;
+  unmarked_.pop_back();
+}
+
+void RandomizedMarkingPolicy::mark(PageId page) {
+  auto it = resident_.find(page);
+  CCC_CHECK(it != resident_.end(), "marking a non-resident page");
+  if (it->second.marked) return;
+  remove_from_unmarked(page);
+  it->second.marked = true;
+}
+
+void RandomizedMarkingPolicy::on_hit(const Request& request,
+                                     TimeStep /*time*/) {
+  mark(request.page);
+}
+
+PageId RandomizedMarkingPolicy::choose_victim(const Request& /*request*/,
+                                              TimeStep /*time*/) {
+  if (unmarked_.empty()) {
+    // Phase end: all marks clear; every resident page becomes a candidate.
+    for (auto& [page, entry] : resident_) {
+      entry.marked = false;
+      entry.unmarked_index = unmarked_.size();
+      unmarked_.push_back(page);
+    }
+  }
+  CCC_CHECK(!unmarked_.empty(),
+            "RandomizedMarking asked for a victim with an empty cache");
+  return unmarked_[rng_.next_below(unmarked_.size())];
+}
+
+void RandomizedMarkingPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                                       TimeStep /*time*/) {
+  const auto it = resident_.find(victim);
+  CCC_CHECK(it != resident_.end(),
+            "RandomizedMarking evicting an untracked page");
+  if (!it->second.marked) remove_from_unmarked(victim);
+  resident_.erase(it);
+}
+
+void RandomizedMarkingPolicy::on_insert(const Request& request,
+                                        TimeStep /*time*/) {
+  const auto [it, inserted] = resident_.emplace(
+      request.page, Entry{/*marked=*/true, /*unmarked_index=*/0});
+  (void)it;
+  CCC_CHECK(inserted, "RandomizedMarking double-insert");
+}
+
+}  // namespace ccc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file randomized_marking.hpp
+/// \brief Randomized marking (Fiat et al.): like MarkingPolicy but the
+///        victim is a *uniformly random* unmarked page. O(log k)-competitive
+///        against oblivious adversaries for unit costs — included because
+///        the paper's lower bound (Thm. 1.4) applies only to deterministic
+///        algorithms, and this policy shows what randomization buys (and
+///        does not buy, against the adaptive adversary) in E3.
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ccc {
+
+class RandomizedMarkingPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override {
+    return "RandomizedMarking";
+  }
+
+ private:
+  struct Entry {
+    bool marked;
+    std::size_t unmarked_index;  ///< position in unmarked_ when !marked
+  };
+
+  void mark(PageId page);
+  void remove_from_unmarked(PageId page);
+
+  std::unordered_map<PageId, Entry> resident_;
+  std::vector<PageId> unmarked_;  ///< dense array for O(1) uniform sampling
+  Rng rng_{1};
+};
+
+}  // namespace ccc

@@ -1,0 +1,82 @@
+#include "policies/static_partition.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+StaticPartitionPolicy::StaticPartitionPolicy(std::vector<std::size_t> quotas)
+    : configured_quotas_(std::move(quotas)) {}
+
+void StaticPartitionPolicy::reset(const PolicyContext& ctx) {
+  lru_.assign(ctx.num_tenants, TenantLru{});
+  if (!configured_quotas_.empty()) {
+    CCC_REQUIRE(configured_quotas_.size() >= ctx.num_tenants,
+                "need one quota per tenant");
+    quotas_ = configured_quotas_;
+    return;
+  }
+  quotas_.assign(ctx.num_tenants, ctx.capacity / ctx.num_tenants);
+  for (std::uint32_t i = 0; i < ctx.capacity % ctx.num_tenants; ++i)
+    ++quotas_[i];
+}
+
+void StaticPartitionPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  TenantLru& lru = lru_[request.tenant];
+  const auto it = lru.where.find(request.page);
+  CCC_CHECK(it != lru.where.end(), "partition lost track of a page");
+  lru.order.splice(lru.order.begin(), lru.order, it->second);
+}
+
+std::optional<PageId> StaticPartitionPolicy::quota_victim(
+    const Request& request, TimeStep /*time*/) {
+  const TenantLru& lru = lru_[request.tenant];
+  if (lru.order.size() >= quotas_[request.tenant] && !lru.order.empty())
+    return lru.order.back();
+  return std::nullopt;
+}
+
+PageId StaticPartitionPolicy::choose_victim(const Request& request,
+                                            TimeStep /*time*/) {
+  // Prefer evicting from the requesting tenant when it is at/over quota;
+  // otherwise evict from the tenant whose occupancy exceeds its quota the
+  // most (ties: lowest tenant id with any resident page).
+  const TenantId requester = request.tenant;
+  if (lru_[requester].order.size() >= quotas_[requester] &&
+      !lru_[requester].order.empty())
+    return lru_[requester].order.back();
+
+  std::size_t best_tenant = lru_.size();
+  std::ptrdiff_t best_excess = std::numeric_limits<std::ptrdiff_t>::min();
+  for (std::size_t i = 0; i < lru_.size(); ++i) {
+    if (lru_[i].order.empty()) continue;
+    const auto excess = static_cast<std::ptrdiff_t>(lru_[i].order.size()) -
+                        static_cast<std::ptrdiff_t>(quotas_[i]);
+    if (excess > best_excess) {
+      best_excess = excess;
+      best_tenant = i;
+    }
+  }
+  CCC_CHECK(best_tenant < lru_.size(),
+            "partition asked for a victim with an empty cache");
+  return lru_[best_tenant].order.back();
+}
+
+void StaticPartitionPolicy::on_evict(PageId victim, TenantId owner,
+                                     TimeStep /*time*/) {
+  TenantLru& lru = lru_[owner];
+  const auto it = lru.where.find(victim);
+  CCC_CHECK(it != lru.where.end(), "partition evicting an untracked page");
+  lru.order.erase(it->second);
+  lru.where.erase(it);
+}
+
+void StaticPartitionPolicy::on_insert(const Request& request,
+                                      TimeStep /*time*/) {
+  TenantLru& lru = lru_[request.tenant];
+  lru.order.push_front(request.page);
+  lru.where[request.page] = lru.order.begin();
+}
+
+}  // namespace ccc

@@ -1,0 +1,49 @@
+#pragma once
+/// \file static_partition.hpp
+/// \brief The "static memory allocation" strawman the paper's introduction
+///        argues against (§1.1): each tenant gets a fixed quota of the
+///        shared cache and runs LRU inside it. A tenant over its quota
+///        evicts its own LRU page; otherwise the most-over-quota tenant
+///        pays. Wasteful exactly as the paper predicts — E4 quantifies it.
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class StaticPartitionPolicy final : public ReplacementPolicy {
+ public:
+  /// If `quotas` is empty, the capacity is split equally (remainder to the
+  /// lowest tenant ids). Quotas must otherwise sum to >= capacity's use.
+  explicit StaticPartitionPolicy(std::vector<std::size_t> quotas = {});
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  /// Hard partitioning: a tenant at its quota evicts its own LRU page even
+  /// while other tenants' slots sit idle — the §1.1 wastefulness the paper
+  /// motivates against.
+  [[nodiscard]] std::optional<PageId> quota_victim(const Request& request,
+                                                   TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override {
+    return "StaticPartition";
+  }
+
+ private:
+  struct TenantLru {
+    std::list<PageId> order;  ///< front = most recent
+    std::unordered_map<PageId, std::list<PageId>::iterator> where;
+  };
+
+  std::vector<std::size_t> configured_quotas_;
+  std::vector<std::size_t> quotas_;
+  std::vector<TenantLru> lru_;
+};
+
+}  // namespace ccc

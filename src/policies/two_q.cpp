@@ -1,0 +1,88 @@
+#include "policies/two_q.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+TwoQPolicy::TwoQPolicy(double in_fraction, double out_fraction)
+    : in_fraction_(in_fraction), out_fraction_(out_fraction) {
+  CCC_REQUIRE(in_fraction > 0.0 && in_fraction < 1.0,
+              "2Q in-fraction must lie in (0,1)");
+  CCC_REQUIRE(out_fraction > 0.0, "2Q out-fraction must be positive");
+}
+
+void TwoQPolicy::reset(const PolicyContext& ctx) {
+  a1in_.clear();
+  am_.clear();
+  a1out_.clear();
+  resident_.clear();
+  ghost_.clear();
+  kin_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(in_fraction_ *
+                                  static_cast<double>(ctx.capacity)));
+  kout_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(out_fraction_ *
+                                  static_cast<double>(ctx.capacity)));
+}
+
+void TwoQPolicy::touch_ghost_limit() {
+  while (a1out_.size() > kout_) {
+    ghost_.erase(a1out_.back());
+    a1out_.pop_back();
+  }
+}
+
+void TwoQPolicy::on_hit(const Request& request, TimeStep /*time*/) {
+  auto it = resident_.find(request.page);
+  CCC_CHECK(it != resident_.end(), "2Q lost track of a resident page");
+  if (it->second.where == Where::kAm) {
+    am_.splice(am_.begin(), am_, it->second.it);  // LRU touch
+    it->second.it = am_.begin();
+  }
+  // Hits in A1in do not promote (the 2Q rule: promotion happens from the
+  // ghost list, not from the probationary queue).
+}
+
+PageId TwoQPolicy::choose_victim(const Request& /*request*/,
+                                 TimeStep /*time*/) {
+  // Evict from A1in while it is over its quota (or Am is empty);
+  // otherwise from the back of Am.
+  if (!a1in_.empty() && (a1in_.size() > kin_ || am_.empty()))
+    return a1in_.back();
+  CCC_CHECK(!am_.empty(), "2Q asked for a victim with an empty cache");
+  return am_.back();
+}
+
+void TwoQPolicy::on_evict(PageId victim, TenantId /*owner*/,
+                          TimeStep /*time*/) {
+  const auto it = resident_.find(victim);
+  CCC_CHECK(it != resident_.end(), "2Q evicting an untracked page");
+  if (it->second.where == Where::kA1in) {
+    a1in_.erase(it->second.it);
+    // Demoted probationary pages become ghosts; a re-reference promotes.
+    a1out_.push_front(victim);
+    ghost_[victim] = a1out_.begin();
+    touch_ghost_limit();
+  } else {
+    am_.erase(it->second.it);
+  }
+  resident_.erase(it);
+}
+
+void TwoQPolicy::on_insert(const Request& request, TimeStep /*time*/) {
+  const auto ghost_it = ghost_.find(request.page);
+  if (ghost_it != ghost_.end()) {
+    // Seen recently: promote straight into the protected queue.
+    a1out_.erase(ghost_it->second);
+    ghost_.erase(ghost_it);
+    am_.push_front(request.page);
+    resident_[request.page] = Entry{Where::kAm, am_.begin()};
+  } else {
+    a1in_.push_front(request.page);
+    resident_[request.page] = Entry{Where::kA1in, a1in_.begin()};
+  }
+}
+
+}  // namespace ccc

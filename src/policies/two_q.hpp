@@ -1,0 +1,51 @@
+#pragma once
+/// \file two_q.hpp
+/// \brief Simplified 2Q (Johnson & Shasha '94): a probationary FIFO (A1in)
+///        filters one-hit wonders out of the protected LRU main queue (Am).
+///        A ghost list (A1out) of recently demoted pages promotes
+///        re-referenced pages directly into Am. Scan-resistant where plain
+///        LRU is not — a strong tenant-oblivious baseline for E4.
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/policy.hpp"
+
+namespace ccc {
+
+class TwoQPolicy final : public ReplacementPolicy {
+ public:
+  /// Fractions of the cache devoted to the probationary queue and of the
+  /// (non-resident) ghost list, as in the original paper's Kin/Kout.
+  explicit TwoQPolicy(double in_fraction = 0.25, double out_fraction = 0.5);
+
+  void reset(const PolicyContext& ctx) override;
+  void on_hit(const Request& request, TimeStep time) override;
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep time) override;
+  void on_evict(PageId victim, TenantId owner, TimeStep time) override;
+  void on_insert(const Request& request, TimeStep time) override;
+  [[nodiscard]] std::string name() const override { return "2Q"; }
+
+ private:
+  enum class Where { kA1in, kAm };
+  struct Entry {
+    Where where;
+    std::list<PageId>::iterator it;
+  };
+
+  void touch_ghost_limit();
+
+  double in_fraction_;
+  double out_fraction_;
+  std::size_t kin_ = 1;
+  std::size_t kout_ = 1;
+
+  std::list<PageId> a1in_;   ///< probationary FIFO; back = oldest
+  std::list<PageId> am_;     ///< protected LRU; back = least recent
+  std::list<PageId> a1out_;  ///< ghost FIFO of demoted pages; back = oldest
+  std::unordered_map<PageId, Entry> resident_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> ghost_;
+};
+
+}  // namespace ccc

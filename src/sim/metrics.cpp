@@ -1,0 +1,77 @@
+#include "sim/metrics.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+Metrics::Metrics(std::uint32_t num_tenants)
+    : hits_(num_tenants, 0), misses_(num_tenants, 0),
+      evictions_(num_tenants, 0) {
+  CCC_REQUIRE(num_tenants > 0, "metrics need at least one tenant");
+}
+
+void Metrics::record_hit(TenantId tenant) {
+  CCC_REQUIRE(tenant < hits_.size(), "tenant id out of range");
+  ++hits_[tenant];
+}
+
+void Metrics::record_miss(TenantId tenant) {
+  CCC_REQUIRE(tenant < misses_.size(), "tenant id out of range");
+  ++misses_[tenant];
+}
+
+void Metrics::record_eviction(TenantId tenant) {
+  CCC_REQUIRE(tenant < evictions_.size(), "tenant id out of range");
+  ++evictions_[tenant];
+}
+
+std::uint64_t Metrics::hits(TenantId tenant) const {
+  CCC_REQUIRE(tenant < hits_.size(), "tenant id out of range");
+  return hits_[tenant];
+}
+
+std::uint64_t Metrics::misses(TenantId tenant) const {
+  CCC_REQUIRE(tenant < misses_.size(), "tenant id out of range");
+  return misses_[tenant];
+}
+
+std::uint64_t Metrics::evictions(TenantId tenant) const {
+  CCC_REQUIRE(tenant < evictions_.size(), "tenant id out of range");
+  return evictions_[tenant];
+}
+
+std::uint64_t Metrics::total_hits() const noexcept {
+  return std::accumulate(hits_.begin(), hits_.end(), std::uint64_t{0});
+}
+
+std::uint64_t Metrics::total_misses() const noexcept {
+  return std::accumulate(misses_.begin(), misses_.end(), std::uint64_t{0});
+}
+
+std::uint64_t Metrics::total_evictions() const noexcept {
+  return std::accumulate(evictions_.begin(), evictions_.end(),
+                         std::uint64_t{0});
+}
+
+double total_cost(const std::vector<std::uint64_t>& counts,
+                  const std::vector<CostFunctionPtr>& costs) {
+  CCC_REQUIRE(costs.size() >= counts.size(),
+              "each tenant with counts needs a cost function");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    sum += costs[i]->value(static_cast<double>(counts[i]));
+  return sum;
+}
+
+std::vector<CostFunctionPtr> uniform_costs(const CostFunction& prototype,
+                                           std::uint32_t num_tenants) {
+  std::vector<CostFunctionPtr> costs;
+  costs.reserve(num_tenants);
+  for (std::uint32_t i = 0; i < num_tenants; ++i)
+    costs.push_back(prototype.clone());
+  return costs;
+}
+
+}  // namespace ccc

@@ -1,0 +1,63 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Per-tenant accounting of hits, misses (fetches) and evictions,
+///        and the two cost accountings discussed in §2.1.
+///
+/// The paper charges *evictions* and closes the books with a cache flush so
+/// that evictions equal misses per tenant. We track both: `misses` (page
+/// fetches of a tenant's pages — the quantity a_i(σ) in Theorem 1.1) and
+/// `evictions` (the ICP objective's x-variables). On a flushed trace they
+/// coincide; on an unflushed trace they differ by the ≤ k pages resident at
+/// the end.
+
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "trace/types.hpp"
+
+namespace ccc {
+
+class Metrics {
+ public:
+  explicit Metrics(std::uint32_t num_tenants);
+
+  void record_hit(TenantId tenant);
+  void record_miss(TenantId tenant);
+  void record_eviction(TenantId tenant);
+
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return static_cast<std::uint32_t>(hits_.size());
+  }
+  [[nodiscard]] std::uint64_t hits(TenantId tenant) const;
+  [[nodiscard]] std::uint64_t misses(TenantId tenant) const;
+  [[nodiscard]] std::uint64_t evictions(TenantId tenant) const;
+
+  [[nodiscard]] std::uint64_t total_hits() const noexcept;
+  [[nodiscard]] std::uint64_t total_misses() const noexcept;
+  [[nodiscard]] std::uint64_t total_evictions() const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& miss_vector() const noexcept {
+    return misses_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& eviction_vector()
+      const noexcept {
+    return evictions_;
+  }
+
+ private:
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  std::vector<std::uint64_t> evictions_;
+};
+
+/// Σ_i f_i(x_i) — the paper's objective applied to a per-tenant count
+/// vector. `costs` may be longer than `counts` is wide; extra tenants
+/// (e.g. the zero-cost flush tenant) must carry explicit cost functions.
+[[nodiscard]] double total_cost(const std::vector<std::uint64_t>& counts,
+                                const std::vector<CostFunctionPtr>& costs);
+
+/// Builds n identical cost functions (one clone per tenant).
+[[nodiscard]] std::vector<CostFunctionPtr> uniform_costs(
+    const CostFunction& prototype, std::uint32_t num_tenants);
+
+}  // namespace ccc

@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+SimulatorSession::SimulatorSession(std::size_t capacity,
+                                   std::uint32_t num_tenants,
+                                   ReplacementPolicy& policy,
+                                   const std::vector<CostFunctionPtr>* costs,
+                                   SimOptions options)
+    : cache_(capacity), metrics_(num_tenants), policy_(policy) {
+  if (costs != nullptr)
+    CCC_REQUIRE(costs->size() >= num_tenants,
+                "need one cost function per tenant");
+  PolicyContext ctx;
+  ctx.capacity = capacity;
+  ctx.num_tenants = num_tenants;
+  ctx.costs = costs;
+  ctx.cache = &cache_;
+  ctx.seed = options.seed;
+  policy_.reset(ctx);
+}
+
+StepEvent SimulatorSession::step(const Request& request) {
+  CCC_REQUIRE(request.tenant < metrics_.num_tenants(),
+              "request tenant out of range");
+  StepEvent event;
+  event.request = request;
+
+  if (cache_.contains(request.page)) {
+    event.hit = true;
+    metrics_.record_hit(request.tenant);
+    policy_.on_hit(request, time_);
+  } else {
+    metrics_.record_miss(request.tenant);
+    std::optional<PageId> victim;
+    if (cache_.full())
+      victim = policy_.choose_victim(request, time_);
+    else
+      victim = policy_.quota_victim(request, time_);
+    if (victim.has_value()) {
+      CCC_CHECK(cache_.contains(*victim),
+                "policy chose a non-resident victim");
+      const TenantId victim_owner = cache_.owner(*victim);
+      cache_.erase(*victim);
+      metrics_.record_eviction(victim_owner);
+      policy_.on_evict(*victim, victim_owner, time_);
+      event.victim = victim;
+      event.victim_owner = victim_owner;
+    }
+    cache_.insert(request.page, request.tenant);
+    policy_.on_insert(request, time_);
+  }
+  ++time_;
+  return event;
+}
+
+void SimulatorSession::invalidate(PageId page) {
+  const TenantId owner = cache_.owner(page);
+  cache_.erase(page);
+  metrics_.record_eviction(owner);
+  policy_.on_evict(page, owner, time_);
+}
+
+SimResult run_trace(const Trace& trace, std::size_t capacity,
+                    ReplacementPolicy& policy,
+                    const std::vector<CostFunctionPtr>* costs,
+                    SimOptions options) {
+  SimulatorSession session(capacity, trace.num_tenants(), policy, costs,
+                           options);
+  policy.preview(trace);
+  SimResult result{Metrics(trace.num_tenants()), {}};
+  if (options.record_events) result.events.reserve(trace.size());
+  for (const Request& request : trace) {
+    StepEvent event = session.step(request);
+    if (options.record_events) result.events.push_back(std::move(event));
+  }
+  result.metrics = session.metrics();
+  return result;
+}
+
+}  // namespace ccc

@@ -1,0 +1,77 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief The request-processing engine of §1.2: every requested page must
+///        be resident or fetched; a full cache forces an eviction chosen by
+///        the policy. Produces per-tenant metrics and (optionally) the full
+///        event schedule consumed by the primal–dual machinery and the
+///        convex-program evaluator.
+
+#include <optional>
+#include <vector>
+
+#include "sim/cache_state.hpp"
+#include "sim/metrics.hpp"
+#include "sim/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+/// What happened at one time step.
+struct StepEvent {
+  Request request{};
+  bool hit = false;
+  /// Set when an eviction was required to make room.
+  std::optional<PageId> victim;
+  std::optional<TenantId> victim_owner;
+};
+
+struct SimOptions {
+  /// Record a StepEvent per request (needed by the invariant checker and
+  /// the ICP evaluator; costs memory on long traces).
+  bool record_events = false;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  Metrics metrics;
+  std::vector<StepEvent> events;  ///< empty unless record_events
+};
+
+/// Step-wise simulation session. Use this directly when the request stream
+/// is *adaptive* (the Theorem 1.4 adversary inspects the cache between
+/// requests); use run_trace() for a fixed trace.
+class SimulatorSession {
+ public:
+  /// `costs` may be null for cost-oblivious policies; when provided it must
+  /// contain one function per tenant.
+  SimulatorSession(std::size_t capacity, std::uint32_t num_tenants,
+                   ReplacementPolicy& policy,
+                   const std::vector<CostFunctionPtr>* costs,
+                   SimOptions options = {});
+
+  /// Processes one request and returns what happened.
+  StepEvent step(const Request& request);
+
+  /// Forcibly removes a resident page outside the normal request path
+  /// (e.g. a multipool tenant migration); the policy observes it as an
+  /// eviction. Throws if the page is not resident.
+  void invalidate(PageId page);
+
+  [[nodiscard]] const CacheState& cache() const noexcept { return cache_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] TimeStep now() const noexcept { return time_; }
+
+ private:
+  CacheState cache_;
+  Metrics metrics_;
+  ReplacementPolicy& policy_;
+  TimeStep time_ = 0;
+};
+
+/// Runs `policy` over `trace` with a cache of size `capacity`.
+[[nodiscard]] SimResult run_trace(const Trace& trace, std::size_t capacity,
+                                  ReplacementPolicy& policy,
+                                  const std::vector<CostFunctionPtr>* costs,
+                                  SimOptions options = {});
+
+}  // namespace ccc

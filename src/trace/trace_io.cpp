@@ -1,0 +1,118 @@
+#include "trace/trace_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+void save_trace(std::ostream& os, const Trace& trace) {
+  os << "ccc-trace 1\n"
+     << trace.num_tenants() << ' ' << trace.size() << '\n';
+  for (const Request& r : trace) os << r.tenant << ' ' << r.page << '\n';
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for writing");
+  save_trace(file, trace);
+  if (!file) throw std::runtime_error("failed writing trace to '" + path + "'");
+}
+
+Trace load_trace(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "ccc-trace" || version != 1)
+    throw std::runtime_error("not a ccc-trace v1 stream");
+  std::uint32_t num_tenants = 0;
+  std::size_t num_requests = 0;
+  if (!(is >> num_tenants >> num_requests))
+    throw std::runtime_error("malformed trace header");
+  Trace trace(num_tenants);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    TenantId tenant = 0;
+    PageId page = 0;
+    if (!(is >> tenant >> page))
+      throw std::runtime_error("truncated trace body at request " +
+                               std::to_string(i));
+    trace.append(tenant, page);
+  }
+  return trace;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for reading");
+  return load_trace(file);
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'C', 'C', 'C', 'T'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_le(std::ostream& os, T value) {
+  // The library only targets little-endian hosts; a static check keeps the
+  // format honest if that ever changes.
+  static_assert(std::endian::native == std::endian::little,
+                "binary trace format assumes a little-endian host");
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] T read_le(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) throw std::runtime_error("truncated binary trace");
+  return value;
+}
+
+}  // namespace
+
+void save_trace_binary(std::ostream& os, const Trace& trace) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  write_le(os, kBinaryVersion);
+  write_le(os, trace.num_tenants());
+  write_le(os, static_cast<std::uint64_t>(trace.size()));
+  for (const Request& r : trace) {
+    write_le(os, r.tenant);
+    write_le(os, r.page);
+  }
+}
+
+void save_trace_binary_file(const std::string& path, const Trace& trace) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for writing");
+  save_trace_binary(file, trace);
+  if (!file) throw std::runtime_error("failed writing trace to '" + path + "'");
+}
+
+Trace load_trace_binary(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0)
+    throw std::runtime_error("not a CCCT binary trace");
+  if (read_le<std::uint32_t>(is) != kBinaryVersion)
+    throw std::runtime_error("unsupported binary trace version");
+  const auto num_tenants = read_le<std::uint32_t>(is);
+  const auto num_requests = read_le<std::uint64_t>(is);
+  Trace trace(num_tenants);
+  for (std::uint64_t i = 0; i < num_requests; ++i) {
+    const auto tenant = read_le<TenantId>(is);
+    const auto page = read_le<PageId>(is);
+    trace.append(tenant, page);
+  }
+  return trace;
+}
+
+Trace load_trace_binary_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for reading");
+  return load_trace_binary(file);
+}
+
+}  // namespace ccc

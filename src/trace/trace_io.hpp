@@ -1,0 +1,33 @@
+#pragma once
+/// \file trace_io.hpp
+/// \brief Plain-text trace serialization, so generated workloads can be
+///        archived and replayed bit-for-bit across machines.
+///
+/// Format:
+///   line 1: `ccc-trace 1`
+///   line 2: `<num_tenants> <num_requests>`
+///   then one `tenant page` pair per line.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ccc {
+
+void save_trace(std::ostream& os, const Trace& trace);
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Trace load_trace(std::istream& is);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+/// Compact binary format for large archived traces:
+///   "CCCT" magic, u32 version (=1), u32 num_tenants, u64 num_requests,
+///   then (u32 tenant, u64 page) pairs, all little-endian.
+void save_trace_binary(std::ostream& os, const Trace& trace);
+void save_trace_binary_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace load_trace_binary(std::istream& is);
+[[nodiscard]] Trace load_trace_binary_file(const std::string& path);
+
+}  // namespace ccc

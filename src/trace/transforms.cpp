@@ -1,0 +1,61 @@
+#include "trace/transforms.hpp"
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+Trace slice(const Trace& trace, std::size_t begin, std::size_t end) {
+  CCC_REQUIRE(begin <= end && end <= trace.size(),
+              "slice bounds out of range");
+  Trace out(trace.num_tenants());
+  for (std::size_t t = begin; t < end; ++t) out.append(trace[t]);
+  return out;
+}
+
+Trace concat(const Trace& head, const Trace& tail) {
+  CCC_REQUIRE(head.num_tenants() == tail.num_tenants(),
+              "concat requires matching tenant counts");
+  Trace out(head.num_tenants());
+  for (const Request& r : head) out.append(r);
+  for (const Request& r : tail) out.append(r);  // ownership re-checked here
+  return out;
+}
+
+Trace isolate_tenant(const Trace& trace, TenantId tenant) {
+  CCC_REQUIRE(tenant < trace.num_tenants(), "tenant id out of range");
+  Trace out(1);
+  for (const Request& r : trace)
+    if (r.tenant == tenant) out.append(0, r.page);
+  return out;
+}
+
+Trace sample(const Trace& trace, double rate, Rng& rng) {
+  CCC_REQUIRE(rate >= 0.0 && rate <= 1.0, "sampling rate must be in [0,1]");
+  Trace out(trace.num_tenants());
+  for (const Request& r : trace)
+    if (rng.next_bool(rate)) out.append(r);
+  return out;
+}
+
+Trace interleave(const Trace& a, const Trace& b, double weight_a,
+                 double weight_b, Rng& rng) {
+  CCC_REQUIRE(weight_a > 0.0 && weight_b > 0.0,
+              "interleave weights must be positive");
+  Trace out(a.num_tenants() + b.num_tenants());
+  std::size_t ia = 0, ib = 0;
+  const double p_a = weight_a / (weight_a + weight_b);
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() || (ia < a.size() && rng.next_bool(p_a));
+    if (take_a) {
+      out.append(a[ia].tenant, a[ia].page);
+      ++ia;
+    } else {
+      out.append(b[ib].tenant + a.num_tenants(), b[ib].page);
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccc

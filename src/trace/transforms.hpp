@@ -1,0 +1,35 @@
+#pragma once
+/// \file transforms.hpp
+/// \brief Structural trace transformations used to build composite
+///        workloads and to carve evaluation subsets out of archived traces.
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ccc {
+
+/// Requests [begin, end) of `trace` as a new trace (same tenant space).
+[[nodiscard]] Trace slice(const Trace& trace, std::size_t begin,
+                          std::size_t end);
+
+/// Concatenation; both traces must agree on the tenant count and any page
+/// appearing in both must have the same owner (checked).
+[[nodiscard]] Trace concat(const Trace& head, const Trace& tail);
+
+/// Keeps only the requests of `tenant`, renumbered as tenant 0 of a
+/// single-tenant trace (for per-tenant analysis).
+[[nodiscard]] Trace isolate_tenant(const Trace& trace, TenantId tenant);
+
+/// Keeps each request independently with probability `rate` (thinning) —
+/// models a sampled trace collector.
+[[nodiscard]] Trace sample(const Trace& trace, double rate, Rng& rng);
+
+/// Interleaves two traces by drawing the next request from `a` with
+/// probability `weight_a/(weight_a+weight_b)` until both are exhausted.
+/// Tenants of `b` are shifted past those of `a`; pages keep their ids,
+/// which therefore must not collide (guaranteed for make_page streams with
+/// disjoint tenant ids after shifting).
+[[nodiscard]] Trace interleave(const Trace& a, const Trace& b,
+                               double weight_a, double weight_b, Rng& rng);
+
+}  // namespace ccc

@@ -1,0 +1,49 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental identifiers of the multi-tenant caching model (§1.2):
+///        tenants (users) own disjoint page sets; a trace is a sequence of
+///        page requests, each belonging to a unique tenant.
+
+#include <cstdint>
+
+namespace ccc {
+
+/// Tenant (user) identifier; tenants are numbered 0..n-1.
+using TenantId = std::uint32_t;
+
+/// Globally unique page identifier.
+using PageId = std::uint64_t;
+
+/// Discrete time step (index into the request sequence), 0-based.
+using TimeStep = std::size_t;
+
+/// Number of bits reserved for a tenant-local page index inside a PageId.
+inline constexpr unsigned kPageLocalBits = 40;
+
+/// Builds a globally unique PageId from (tenant, local index). Keeping the
+/// owner in the high bits makes ownership recoverable and guarantees the
+/// paper's "each page belongs to a unique user" disjointness by construction.
+[[nodiscard]] constexpr PageId make_page(TenantId tenant,
+                                         std::uint64_t local) noexcept {
+  return (static_cast<PageId>(tenant) << kPageLocalBits) | local;
+}
+
+/// Recovers the owning tenant from a PageId built by make_page.
+[[nodiscard]] constexpr TenantId page_owner(PageId page) noexcept {
+  return static_cast<TenantId>(page >> kPageLocalBits);
+}
+
+/// Recovers the tenant-local index from a PageId built by make_page.
+[[nodiscard]] constexpr std::uint64_t page_local(PageId page) noexcept {
+  return page & ((PageId{1} << kPageLocalBits) - 1);
+}
+
+/// One element of the request sequence σ: tenant `tenant` requests `page`.
+struct Request {
+  TenantId tenant;
+  PageId page;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace ccc

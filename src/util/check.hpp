@@ -1,0 +1,46 @@
+#pragma once
+/// \file check.hpp
+/// \brief Precondition / invariant checking macros used throughout the library.
+///
+/// All public-API misuse is reported by throwing `std::invalid_argument` or
+/// `std::logic_error` so callers (and tests) can observe failures portably.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccc::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void throw_arg_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace ccc::detail
+
+/// Internal-consistency check; throws std::logic_error on failure.
+#define CCC_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ccc::detail::throw_check_failure("CCC_CHECK", #expr, __FILE__,      \
+                                         __LINE__, (msg));                  \
+  } while (false)
+
+/// Public-API argument validation; throws std::invalid_argument on failure.
+#define CCC_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ccc::detail::throw_arg_failure(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Cli& Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+  CCC_REQUIRE(!name.empty() && name[0] != '-',
+              "flag names are registered without leading dashes");
+  const auto [it, inserted] =
+      flags_.emplace(name, Flag{default_value, default_value, help});
+  CCC_REQUIRE(inserted, "duplicate flag registration: " + name);
+  (void)it;
+  order_.push_back(name);
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--"))
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    arg.erase(0, 2);
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("flag --" + arg + " is missing its value");
+      value = argv[++i];
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end())
+      throw std::invalid_argument("unknown flag: --" + arg);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::lookup(const std::string& name) const {
+  const auto it = flags_.find(name);
+  CCC_REQUIRE(it != flags_.end(), "flag was never registered: " + name);
+  return it->second;
+}
+
+std::string Cli::get(const std::string& name) const {
+  return lookup(name).value;
+}
+
+std::uint64_t Cli::get_u64(const std::string& name) const {
+  return parse_u64(lookup(name).value);
+}
+
+std::int64_t Cli::get_i64(const std::string& name) const {
+  return static_cast<std::int64_t>(parse_double(lookup(name).value));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return parse_double(lookup(name).value);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+std::vector<std::uint64_t> Cli::get_u64_list(const std::string& name) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& piece : split(lookup(name).value, ','))
+    if (!trim(piece).empty()) out.push_back(parse_u64(piece));
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& piece : split(lookup(name).value, ','))
+    if (!trim(piece).empty()) out.push_back(parse_double(piece));
+  return out;
+}
+
+std::string Cli::usage() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    out += "  --" + name + " <value>   " + f.help +
+           " (default: " + f.default_value + ")\n";
+  }
+  return out;
+}
+
+}  // namespace ccc

@@ -1,0 +1,57 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal `--flag value` command-line parser used by the benchmark
+///        and example binaries. Unknown flags are rejected so typos surface
+///        immediately; every flag is registered with a help string.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// Declarative CLI: register flags with defaults, then parse().
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers a flag (name without leading dashes). Returns *this to chain.
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  /// Parses argv. Accepts `--name value` and `--name=value`.
+  /// On `--help` prints usage and returns false (caller should exit 0).
+  /// Throws std::invalid_argument on unknown flags or missing values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_i64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of u64 values.
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_list(
+      const std::string& name) const;
+  /// Comma-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Flag& lookup(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace ccc

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace ccc {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CCC_REQUIRE(bound > 0, "next_below requires a positive bound");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  CCC_REQUIRE(lo <= hi, "next_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  CCC_REQUIRE(lo <= hi, "next_double requires lo <= hi");
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) {
+  CCC_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be within [0,1]");
+  return next_double() < p;
+}
+
+Rng Rng::split() noexcept {
+  std::uint64_t sm = (*this)() ^ 0xd1b54a32d192ed03ULL;
+  Rng child(0);
+  for (auto& word : child.s_) word = splitmix64(sm);
+  return child;
+}
+
+}  // namespace ccc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming and batch summary statistics used by the experiment
+///        harness (means, variance, confidence intervals, quantiles).
+
+#include <cstddef>
+#include <vector>
+
+namespace ccc {
+
+/// Welford streaming accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of a ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation; `q` in [0,1].
+/// The input is copied and sorted. Throws on an empty sample.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Geometric mean; all inputs must be positive.
+[[nodiscard]] double geometric_mean(const std::vector<double>& sample);
+
+}  // namespace ccc

@@ -1,0 +1,74 @@
+#include "util/string_util.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ccc {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw std::invalid_argument("cannot parse '" + std::string(s) +
+                                "' as a real number");
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+  s = trim(s);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw std::invalid_argument("cannot parse '" + std::string(s) +
+                                "' as a non-negative integer");
+  return value;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_compact(double v) {
+  char buf[64];
+  const double mag = std::fabs(v);
+  if (mag != 0.0 && (mag >= 1e7 || mag < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else if (v == std::floor(v) && mag < 1e7) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+}  // namespace ccc

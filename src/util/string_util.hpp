@@ -1,0 +1,35 @@
+#pragma once
+/// \file string_util.hpp
+/// \brief Small string helpers shared by the CLI parser, table writer and
+///        the cost-function spec parser.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccc {
+
+/// Splits `s` on `sep`; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Parses a double, throwing std::invalid_argument with context on failure.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Parses a non-negative integer, throwing on failure.
+[[nodiscard]] std::uint64_t parse_u64(std::string_view s);
+
+/// Fixed-precision formatting (no trailing-zero stripping).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// Human-friendly formatting: large magnitudes get thousands separators,
+/// small ones keep significant digits.
+[[nodiscard]] std::string format_compact(double v);
+
+}  // namespace ccc

@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace ccc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CCC_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CCC_REQUIRE(cells.size() == headers_.size(),
+              "row arity must match the table header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell_to_string(double v) { return format_compact(v); }
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+void append_padded(std::string& out, const std::string& cell,
+                   std::size_t width) {
+  out += cell;
+  out.append(width - cell.size(), ' ');
+}
+
+}  // namespace
+
+std::string Table::to_ascii() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep;
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += ' ';
+    append_padded(out, headers_[c], widths[c]);
+    out += " |";
+  }
+  out += "\n" + sep;
+  for (const auto& row : rows_) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      append_padded(out, row[c], widths[c]);
+      out += " |";
+    }
+    out += "\n";
+  }
+  out += sep;
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += ' ' + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& cell : row) out += ' ' + cell + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += csv_escape(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for writing");
+  file << to_csv();
+  if (!file) throw std::runtime_error("failed writing CSV to '" + path + "'");
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const Table& table) {
+  os << title << '\n' << std::string(title.size(), '=') << '\n'
+     << table.to_ascii() << '\n';
+}
+
+}  // namespace ccc

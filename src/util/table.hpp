@@ -1,0 +1,63 @@
+#pragma once
+/// \file table.hpp
+/// \brief Report-table builder used by benchmarks and examples to print
+///        paper-style result tables (ASCII for the console, Markdown for
+///        EXPERIMENTS.md, CSV for downstream plotting).
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// A rectangular results table. Rows must match the header arity.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a pre-formatted row; throws if arity mismatches the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell (numbers via format_compact).
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(cell_to_string(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Boxed ASCII rendering with aligned columns.
+  [[nodiscard]] std::string to_ascii() const;
+  /// GitHub-flavoured Markdown rendering.
+  [[nodiscard]] std::string to_markdown() const;
+  /// RFC-4180-ish CSV (quotes cells containing separators).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  template <typename T>
+    requires std::integral<T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints `table.to_ascii()` preceded by an underlined title.
+void print_table(std::ostream& os, const std::string& title,
+                 const Table& table);
+
+}  // namespace ccc

@@ -1,0 +1,56 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool used to parallelize parameter sweeps.
+///
+/// Results are written into pre-sized slots indexed by task id, so output
+/// order never depends on scheduling; combined with per-task RNG streams
+/// (`Rng::split`) every sweep is reproducible regardless of thread count.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccc {
+
+/// A minimal task pool. Exceptions thrown by tasks are captured and
+/// rethrown from wait_idle() (first one wins).
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ccc

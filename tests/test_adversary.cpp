@@ -1,0 +1,71 @@
+// Tests for the §4 adaptive adversary (exp/adversary.hpp).
+#include "exp/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/convex_caching.hpp"
+#include "cost/monomial.hpp"
+#include "policies/lru.hpp"
+#include "sim/metrics.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<CostFunctionPtr> monomials(std::uint32_t n, double beta) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(beta));
+  return costs;
+}
+
+TEST(Adversary, EveryRequestMissesAgainstAnyPolicy) {
+  const std::uint32_t n = 6;
+  const auto costs = monomials(n, 2.0);
+  LruPolicy lru;
+  const AdversaryRun run = run_adversary(n, 200, lru, costs);
+  // The adversary requests the missing page: zero hits, ever.
+  EXPECT_EQ(run.alg_metrics.total_hits(), 0u);
+  EXPECT_EQ(run.alg_metrics.total_misses(), 200u);
+  EXPECT_EQ(run.trace.size(), 200u);
+}
+
+TEST(Adversary, AlsoDefeatsConvexCaching) {
+  const std::uint32_t n = 5;
+  const auto costs = monomials(n, 2.0);
+  ConvexCachingPolicy policy;
+  const AdversaryRun run = run_adversary(n, 150, policy, costs);
+  EXPECT_EQ(run.alg_metrics.total_hits(), 0u);
+}
+
+TEST(Adversary, TraceHasOnePagePerTenant) {
+  const std::uint32_t n = 4;
+  const auto costs = monomials(n, 1.0);
+  LruPolicy lru;
+  const AdversaryRun run = run_adversary(n, 100, lru, costs);
+  const auto pages = run.trace.pages_per_tenant();
+  for (const std::uint64_t p : pages) EXPECT_LE(p, 1u);
+  EXPECT_EQ(run.trace.distinct_pages(), static_cast<std::size_t>(n));
+}
+
+TEST(Adversary, CostMatchesMetrics) {
+  const std::uint32_t n = 4;
+  const auto costs = monomials(n, 2.0);
+  LruPolicy lru;
+  const AdversaryRun run = run_adversary(n, 100, lru, costs);
+  EXPECT_DOUBLE_EQ(run.alg_cost,
+                   total_cost(run.alg_metrics.miss_vector(), costs));
+}
+
+TEST(Adversary, ValidatesArguments) {
+  const auto costs = monomials(4, 1.0);
+  LruPolicy lru;
+  EXPECT_THROW((void)run_adversary(1, 100, lru, costs),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_adversary(4, 2, lru, costs), std::invalid_argument);
+  const auto short_costs = monomials(2, 1.0);
+  EXPECT_THROW((void)run_adversary(4, 100, lru, short_costs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

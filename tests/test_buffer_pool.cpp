@@ -1,0 +1,91 @@
+// Tests for the SQLVM-style buffer-pool facade (bufferpool/buffer_pool.hpp).
+#include "bufferpool/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/convex_caching.hpp"
+#include "cost/piecewise_linear.hpp"
+#include "policies/lru.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<TenantContract> two_contracts() {
+  std::vector<TenantContract> contracts;
+  contracts.push_back(
+      {"gold", std::make_unique<PiecewiseLinearCost>(
+                   PiecewiseLinearCost::sla(2.0, 10.0))});
+  contracts.push_back(
+      {"bronze", std::make_unique<PiecewiseLinearCost>(
+                     PiecewiseLinearCost::sla(50.0, 1.0))});
+  return contracts;
+}
+
+TEST(BufferPool, TracksHitsAndMisses) {
+  BufferPool pool(2, two_contracts(), std::make_unique<LruPolicy>(), 0);
+  pool.access(0, make_page(0, 0));
+  pool.access(0, make_page(0, 0));
+  pool.access(1, make_page(1, 0));
+  const BufferPoolReport report = pool.report();
+  EXPECT_EQ(report.tenant_names[0], "gold");
+  EXPECT_EQ(report.hits[0], 1u);
+  EXPECT_EQ(report.misses[0], 1u);
+  EXPECT_EQ(report.misses[1], 1u);
+}
+
+TEST(BufferPool, RefundFollowsSla) {
+  // Gold tolerates 2 misses/window; force 5 gold misses in one window.
+  BufferPool pool(1, two_contracts(), std::make_unique<LruPolicy>(), 100);
+  for (int i = 0; i < 5; ++i)
+    pool.access(0, make_page(0, static_cast<PageId>(i)));
+  const BufferPoolReport report = pool.report();
+  EXPECT_DOUBLE_EQ(report.refunds[0], (5.0 - 2.0) * 10.0);
+  EXPECT_DOUBLE_EQ(report.refunds[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.total_refund, 30.0);
+}
+
+TEST(BufferPool, ReplayMatchesManualAccesses) {
+  Rng rng(71);
+  const Trace t = random_uniform_trace(2, 5, 200, rng);
+  BufferPool a(3, two_contracts(), std::make_unique<LruPolicy>(), 50);
+  BufferPool b(3, two_contracts(), std::make_unique<LruPolicy>(), 50);
+  a.replay(t);
+  for (const Request& r : t) b.access(r.tenant, r.page);
+  const BufferPoolReport ra = a.report();
+  const BufferPoolReport rb = b.report();
+  EXPECT_EQ(ra.misses, rb.misses);
+  EXPECT_EQ(ra.refunds, rb.refunds);
+}
+
+TEST(BufferPool, WorksWithConvexCachingPolicy) {
+  Rng rng(72);
+  const Trace t = random_uniform_trace(2, 6, 400, rng);
+  BufferPool pool(4, two_contracts(),
+                  std::make_unique<ConvexCachingPolicy>(), 100);
+  pool.replay(t);
+  const BufferPoolReport report = pool.report();
+  EXPECT_EQ(report.policy_name, "ConvexCaching");
+  EXPECT_EQ(report.hits[0] + report.misses[0] + report.hits[1] +
+                report.misses[1],
+            t.size());
+}
+
+TEST(BufferPool, ValidatesConstruction) {
+  EXPECT_THROW(BufferPool(2, {}, std::make_unique<LruPolicy>(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(BufferPool(2, two_contracts(), nullptr, 0),
+               std::invalid_argument);
+  std::vector<TenantContract> bad;
+  bad.push_back({"x", nullptr});
+  EXPECT_THROW(BufferPool(2, std::move(bad), std::make_unique<LruPolicy>(), 0),
+               std::invalid_argument);
+}
+
+TEST(BufferPool, RejectsOutOfRangeTenant) {
+  BufferPool pool(2, two_contracts(), std::make_unique<LruPolicy>(), 0);
+  EXPECT_THROW(pool.access(2, make_page(2, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,102 @@
+// Unit tests for the CLI parser (util/cli.hpp).
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccc {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test program");
+  cli.flag("count", "10", "a count")
+      .flag("rate", "0.5", "a rate")
+      .flag("name", "default", "a name")
+      .flag("list", "1,2,3", "numbers")
+      .flag("enable", "false", "a switch");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_u64("count"), 10u);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_FALSE(cli.get_bool("enable"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count", "42", "--name", "x"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_u64("count"), 42u);
+  EXPECT_EQ(cli.get("name"), "x");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--rate=0.25", "--enable=true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+  EXPECT_TRUE(cli.get_bool("enable"));
+}
+
+TEST(Cli, Lists) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--list", "4,5,6"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_u64_list("list"),
+            (std::vector<std::uint64_t>{4, 5, 6}));
+  const char* argv2[] = {"prog", "--list", "1.5,2.5"};
+  Cli cli2 = make_cli();
+  ASSERT_TRUE(cli2.parse(3, argv2));
+  EXPECT_EQ(cli2.get_double_list("list"), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW((void)cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW((void)cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW((void)cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BadBooleanRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--enable", "maybe"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW((void)cli.get_bool("enable"), std::invalid_argument);
+}
+
+TEST(Cli, DuplicateRegistrationRejected) {
+  Cli cli("x");
+  cli.flag("a", "1", "first");
+  EXPECT_THROW(cli.flag("a", "2", "dup"), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,92 @@
+// Behavioral tests for CLOCK / second-chance (policies/clock.hpp).
+#include "policies/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/lru.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+Trace from_pages(std::initializer_list<int> pages) {
+  Trace t(1);
+  for (const int p : pages) t.append(0, static_cast<PageId>(p));
+  return t;
+}
+
+TEST(Clock, GivesSecondChanceToReferencedPages) {
+  ClockPolicy clock;
+  SimOptions options;
+  options.record_events = true;
+  // 1 2 1 3 (k=2): the hit on 1 sets its bit; at the miss on 3 the sweep
+  // clears bits and must not pick 1 over 2 without at least one sweep...
+  // Both were inserted referenced; the sweep clears both and evicts the
+  // first unreferenced page it reaches. What must hold: after 1's hit, the
+  // NEXT miss (3) evicts 2 if 2's bit was cleared first. Assert the weaker
+  // contract: the requested page is resident and exactly one of {1,2} left.
+  const SimResult result =
+      run_trace(from_pages({1, 2, 1, 3}), 2, clock, nullptr, options);
+  ASSERT_TRUE(result.events[3].victim.has_value());
+  const PageId victim = *result.events[3].victim;
+  EXPECT_TRUE(victim == 1 || victim == 2);
+}
+
+TEST(Clock, UnreferencedPageEvictedBeforeHotPage) {
+  ClockPolicy clock;
+  SimOptions options;
+  options.record_events = true;
+  // k=2. 1 2, then 3 misses (both bits set → full sweep clears both,
+  // evicts one). Then repeatedly hit the survivor + page 3 and miss others:
+  // the hot pair must survive each time once their bits are set and the
+  // cold page's bit is clear.
+  Trace t(1);
+  for (const int p : {1, 2, 3, 3, 4}) t.append(0, static_cast<PageId>(p));
+  const SimResult result = run_trace(t, 2, clock, nullptr, options);
+  // At the miss on 4, page 3 was just hit (bit set); the other resident was
+  // never re-referenced → it must be the victim.
+  ASSERT_TRUE(result.events[4].victim.has_value());
+  EXPECT_NE(*result.events[4].victim, PageId{3});
+}
+
+TEST(Clock, ApproximatesLruMissCountOnSkewedTraffic) {
+  Rng rng(7);
+  std::vector<TenantWorkload> w;
+  w.push_back({std::make_unique<ZipfPages>(64, 1.0), 1.0});
+  const Trace t = generate_trace(std::move(w), 20000, rng);
+  ClockPolicy clock;
+  LruPolicy lru;
+  const SimResult a = run_trace(t, 16, clock, nullptr);
+  const SimResult b = run_trace(t, 16, lru, nullptr);
+  const double ratio = static_cast<double>(a.metrics.total_misses()) /
+                       static_cast<double>(b.metrics.total_misses());
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Clock, SurvivesInvalidation) {
+  ClockPolicy clock;
+  SimulatorSession session(3, 1, clock, nullptr);
+  session.step({0, 1});
+  session.step({0, 2});
+  session.step({0, 3});
+  session.invalidate(2);
+  EXPECT_FALSE(session.step({0, 2}).hit);  // re-misses cleanly
+  session.step({0, 4});                    // forces a normal eviction
+  EXPECT_LE(session.cache().size(), 3u);
+}
+
+TEST(Clock, ContractOnRandomTraces) {
+  Rng rng(9);
+  const Trace t = random_uniform_trace(2, 8, 1000, rng);
+  ClockPolicy clock;
+  const SimResult result = run_trace(t, 4, clock, nullptr);
+  EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(),
+            t.size());
+  EXPECT_LE(result.metrics.total_misses() - result.metrics.total_evictions(),
+            4u);
+}
+
+}  // namespace
+}  // namespace ccc

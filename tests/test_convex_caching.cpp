@@ -1,0 +1,267 @@
+// Tests for ALG-DISCRETE (core/convex_caching.hpp): hand-computed budget
+// dynamics from Fig. 3, plus equivalence of the optimized implementation
+// with the literal transcription on randomized inputs.
+#include "core/convex_caching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/naive_convex_caching.hpp"
+#include "cost/combinators.hpp"
+#include "cost/monomial.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+// Tenant 0: f(x)=x² (f'=2x); tenant 1: f(x)=2x (f'=2).
+std::vector<CostFunctionPtr> mixed_costs() {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 2.0));
+  return costs;
+}
+
+TEST(ConvexCaching, BudgetDynamicsMatchHandComputation) {
+  const auto costs = mixed_costs();
+  ConvexCachingPolicy policy;
+  SimulatorSession session(2, 2, policy, &costs);
+  const PageId A = make_page(0, 0), B = make_page(1, 0), C = make_page(0, 1);
+
+  session.step({0, A});  // B(A) = f0'(1) = 2
+  EXPECT_DOUBLE_EQ(policy.budget(A), 2.0);
+  session.step({1, B});  // B(B) = f1'(1) = 2
+  EXPECT_DOUBLE_EQ(policy.budget(B), 2.0);
+
+  // Miss on C: tie between A and B at budget 2 → lower page id (A) goes.
+  // Survivor B is debited 2 → 0; C enters at f0'(m0+1)=f0'(2)=4.
+  const StepEvent e2 = session.step({0, C});
+  ASSERT_TRUE(e2.victim.has_value());
+  EXPECT_EQ(*e2.victim, A);
+  EXPECT_DOUBLE_EQ(policy.budget(B), 0.0);
+  EXPECT_DOUBLE_EQ(policy.budget(C), 4.0);
+
+  // Miss on A: B (budget 0) goes; C debited 0 → 4; A enters at f0'(2)=4.
+  const StepEvent e3 = session.step({0, A});
+  ASSERT_TRUE(e3.victim.has_value());
+  EXPECT_EQ(*e3.victim, B);
+  EXPECT_DOUBLE_EQ(policy.budget(C), 4.0);
+  EXPECT_DOUBLE_EQ(policy.budget(A), 4.0);
+
+  // Miss on B: A and C tied at 4 → A (lower id) goes; tenant 0's miss count
+  // becomes 2, so survivor C is debited 4 and bumped f0'(3)−f0'(2)=2 → 2.
+  const StepEvent e4 = session.step({1, B});
+  ASSERT_TRUE(e4.victim.has_value());
+  EXPECT_EQ(*e4.victim, A);
+  EXPECT_DOUBLE_EQ(policy.budget(C), 2.0);
+  EXPECT_DOUBLE_EQ(policy.budget(B), 2.0);
+
+  EXPECT_EQ(policy.tenant_evictions()[0], 2u);
+  EXPECT_EQ(policy.tenant_evictions()[1], 1u);
+}
+
+TEST(ConvexCaching, HitRefreshesBudget) {
+  const auto costs = mixed_costs();
+  ConvexCachingPolicy policy;
+  SimulatorSession session(2, 2, policy, &costs);
+  const PageId A = make_page(0, 0), B = make_page(1, 0), C = make_page(1, 1);
+  session.step({0, A});
+  session.step({1, B});
+  session.step({1, C});  // evicts the tie-winner... A=2, B=2 → evicts A
+  // B was debited to 0; a hit refreshes it to f1'(m1+1)=2.
+  session.step({1, B});
+  EXPECT_DOUBLE_EQ(policy.budget(B), 2.0);
+}
+
+TEST(ConvexCaching, LinearSingleTenantBudgetsStayUniform) {
+  // With f(x)=w·x all budgets are w at set time; after each eviction all
+  // survivors drop to 0... then the next victim has budget 0, and fresh
+  // pages re-enter at w. Evictions therefore rotate through stale pages —
+  // sanity: the policy completes a scan workload with the right counts.
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 3.0));
+  Trace t(1);
+  for (int i = 0; i < 30; ++i) t.append(0, static_cast<PageId>(i % 5));
+  ConvexCachingPolicy policy;
+  const SimResult result = run_trace(t, 3, policy, &costs);
+  EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(), 30u);
+  EXPECT_GT(result.metrics.total_misses(), 5u);
+}
+
+TEST(ConvexCaching, RequiresCostFunctions) {
+  ConvexCachingPolicy policy;
+  Trace t(1);
+  t.append(0, 1);
+  EXPECT_THROW((void)run_trace(t, 2, policy, nullptr), std::invalid_argument);
+}
+
+TEST(ConvexCaching, BudgetOfNonResidentThrows) {
+  const auto costs = mixed_costs();
+  ConvexCachingPolicy policy;
+  SimulatorSession session(2, 2, policy, &costs);
+  session.step({0, make_page(0, 0)});
+  EXPECT_THROW((void)policy.budget(make_page(0, 7)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property: the O(log k) production implementation must make exactly the
+// same decisions as the literal Fig. 3 transcription. Integer-valued
+// derivatives (monomials with integer β on integer miss counts) make both
+// implementations exact in floating point, so victim sequences must match
+// bit for bit.
+struct EquivCase {
+  std::uint64_t seed;
+  double beta;
+  std::uint32_t tenants;
+  std::size_t k;
+
+  friend std::ostream& operator<<(std::ostream& os, const EquivCase& c) {
+    return os << "seed" << c.seed << "_beta" << c.beta << "_n" << c.tenants
+              << "_k" << c.k;
+  }
+};
+
+class NaiveEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(NaiveEquivalenceTest, VictimSequencesAreIdentical) {
+  const EquivCase c = GetParam();
+  Rng rng(c.seed);
+  const Trace t = random_uniform_trace(c.tenants, 2 * c.k, 600, rng);
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < c.tenants; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(c.beta, 1.0 + i));
+
+  ConvexCachingPolicy fast;
+  NaiveConvexCachingPolicy naive;
+  SimOptions options;
+  options.record_events = true;
+  const SimResult fast_run = run_trace(t, c.k, fast, &costs, options);
+  const SimResult naive_run = run_trace(t, c.k, naive, &costs, options);
+  ASSERT_EQ(fast_run.events.size(), naive_run.events.size());
+  for (std::size_t i = 0; i < fast_run.events.size(); ++i) {
+    EXPECT_EQ(fast_run.events[i].hit, naive_run.events[i].hit)
+        << "step " << i;
+    EXPECT_EQ(fast_run.events[i].victim, naive_run.events[i].victim)
+        << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NaiveEquivalenceTest,
+    ::testing::Values(EquivCase{1, 1.0, 1, 3}, EquivCase{2, 2.0, 1, 3},
+                      EquivCase{3, 3.0, 2, 4}, EquivCase{4, 2.0, 2, 2},
+                      EquivCase{5, 1.0, 3, 5}, EquivCase{6, 2.0, 3, 5},
+                      EquivCase{7, 3.0, 2, 3}, EquivCase{8, 2.0, 4, 6},
+                      EquivCase{9, 1.0, 2, 4}, EquivCase{10, 2.0, 1, 8}));
+
+TEST(ConvexCachingAblations, SwitchesChangeBehaviour) {
+  Rng rng(77);
+  const Trace t = random_uniform_trace(2, 8, 800, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0, 4.0));
+
+  ConvexCachingOptions no_debit;
+  no_debit.debit_survivors = false;
+  ConvexCachingOptions no_bump;
+  no_bump.bump_victim_tenant = false;
+
+  ConvexCachingPolicy full, ablated_debit(no_debit), ablated_bump(no_bump);
+  SimOptions options;
+  options.record_events = true;
+  const SimResult a = run_trace(t, 4, full, &costs, options);
+  const SimResult b = run_trace(t, 4, ablated_debit, &costs, options);
+  const SimResult c = run_trace(t, 4, ablated_bump, &costs, options);
+  int diff_debit = 0, diff_bump = 0;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    if (a.events[i].victim != b.events[i].victim) ++diff_debit;
+    if (a.events[i].victim != c.events[i].victim) ++diff_bump;
+  }
+  EXPECT_GT(diff_debit, 0) << "debit ablation must change decisions";
+  EXPECT_GT(diff_bump, 0) << "bump ablation must change decisions";
+}
+
+TEST(ConvexCachingDiscrete, MatchesAnalyticForQuadratic) {
+  // For f(x)=x², f'(m+1) = 2m+2 while the discrete marginal is
+  // f(m+1)−f(m) = 2m+1 — a constant shift of 1 for every tenant/page, so
+  // with a single tenant the *order* of budgets is preserved and the two
+  // modes agree... with multiple tenants they may diverge. Check single
+  // tenant equality.
+  Rng rng(13);
+  const Trace t = random_uniform_trace(1, 8, 500, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  ConvexCachingOptions discrete;
+  discrete.derivative = DerivativeMode::kDiscreteMarginal;
+  ConvexCachingPolicy analytic, marginal(discrete);
+  SimOptions options;
+  options.record_events = true;
+  const SimResult a = run_trace(t, 4, analytic, &costs, options);
+  const SimResult b = run_trace(t, 4, marginal, &costs, options);
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    EXPECT_EQ(a.events[i].victim, b.events[i].victim) << "step " << i;
+}
+
+TEST(ConvexCachingWindowed, MissCountsResetAtBoundaries) {
+  // With a window shorter than the trace, tenant marginals re-base: after
+  // a boundary, a fresh page's budget must equal f'(1), not f'(m+1).
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));  // f' = 2x
+  ConvexCachingOptions options;
+  options.window_length = 4;
+  ConvexCachingPolicy policy(options);
+  SimulatorSession session(2, 1, policy, &costs);
+  // Window 0 (t=0..3): force evictions to raise m.
+  for (const int p : {1, 2, 3, 4}) session.step({0, static_cast<PageId>(p)});
+  // Two evictions so far (m=2, marginal f'(3)=6). At t=4 a new window
+  // starts: resident budgets re-base to f'(1)=2, the eviction at t=4 is
+  // the window's first (m back to 1), and the fresh page enters at
+  // f'(m+1)=f'(2)=4 — all small numbers again instead of the m=3 regime.
+  session.step({0, 5});  // t=4: rolls the window, evicts at fresh budgets
+  EXPECT_DOUBLE_EQ(policy.budget(5), 4.0);
+  // The surviving page was re-based to f'(1)=2, then debited 2 and bumped
+  // f'(2)−f'(1)=2 by the same eviction.
+  EXPECT_DOUBLE_EQ(policy.budget(4), 2.0);
+}
+
+TEST(ConvexCachingWindowed, MatchesUnwindowedWhenWindowCoversTrace) {
+  Rng rng(55);
+  const Trace t = random_uniform_trace(2, 6, 300, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0, 3.0));
+  ConvexCachingOptions huge_window;
+  huge_window.window_length = 10'000;  // larger than the trace
+  ConvexCachingPolicy windowed(huge_window), plain;
+  SimOptions options;
+  options.record_events = true;
+  const SimResult a = run_trace(t, 4, windowed, &costs, options);
+  const SimResult b = run_trace(t, 4, plain, &costs, options);
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    EXPECT_EQ(a.events[i].victim, b.events[i].victim) << "step " << i;
+}
+
+TEST(ConvexCachingWindowed, NameAdvertisesWindow) {
+  ConvexCachingOptions options;
+  options.window_length = 500;
+  EXPECT_EQ(ConvexCachingPolicy(options).name(), "ConvexCaching[w=500]");
+}
+
+TEST(ConvexCachingDiscrete, HandlesNonConvexStepCosts) {
+  // §2.5: the algorithm runs on arbitrary cost functions. Just assert it
+  // completes and accounts correctly on a discontinuous staircase.
+  Rng rng(19);
+  const Trace t = random_uniform_trace(2, 6, 400, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<StepCost>(5.0, 10.0));
+  costs.push_back(std::make_unique<StepCost>(3.0, 2.0));
+  ConvexCachingOptions discrete;
+  discrete.derivative = DerivativeMode::kDiscreteMarginal;
+  ConvexCachingPolicy policy(discrete);
+  const SimResult result = run_trace(t, 4, policy, &costs);
+  EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(),
+            t.size());
+}
+
+}  // namespace
+}  // namespace ccc

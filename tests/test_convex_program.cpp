@@ -1,0 +1,146 @@
+// Tests for the ICP/CP builder (core/convex_program.hpp) — Fig. 1/Fig. 4.
+#include "core/convex_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/primal_dual.hpp"
+#include "cost/monomial.hpp"
+#include "policies/lru.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+Trace from_pages(std::initializer_list<int> pages) {
+  Trace t(1);
+  for (const int p : pages) t.append(0, static_cast<PageId>(p));
+  return t;
+}
+
+TEST(ConvexProgram, OneVariablePerRequest) {
+  const Trace t = from_pages({1, 2, 1, 3});
+  const ConvexProgram cp(t, 2);
+  EXPECT_EQ(cp.num_variables(), 4u);
+  // Page 1 has requests j=1 and j=2.
+  EXPECT_NO_THROW((void)cp.variable(1, 1));
+  EXPECT_NO_THROW((void)cp.variable(1, 2));
+  EXPECT_THROW((void)cp.variable(1, 3), std::invalid_argument);
+  EXPECT_THROW((void)cp.variable(99, 1), std::invalid_argument);
+}
+
+TEST(ConvexProgram, AllZeroFeasibleWhileCacheFits) {
+  // Two distinct pages, k=2: the empty eviction set is feasible.
+  const Trace t = from_pages({1, 2, 1, 2});
+  const ConvexProgram cp(t, 2);
+  const std::vector<double> x(cp.num_variables(), 0.0);
+  EXPECT_TRUE(cp.feasible(x));
+}
+
+TEST(ConvexProgram, AllZeroInfeasibleWhenOverCommitted) {
+  // Three distinct pages, k=2: at t=2 someone must be out.
+  const Trace t = from_pages({1, 2, 3});
+  const ConvexProgram cp(t, 2);
+  const std::vector<double> x(cp.num_variables(), 0.0);
+  EXPECT_FALSE(cp.feasible(x));
+  EXPECT_LT(cp.min_slack(x), 0.0);
+}
+
+TEST(ConvexProgram, FractionalAssignmentsEvaluated) {
+  const Trace t = from_pages({1, 2, 3});
+  const ConvexProgram cp(t, 2);
+  // x(1,1) = x(2,1) = 0.5 gives the t=2 constraint lhs = 1 ≥ 3−2 = 1.
+  std::vector<double> x(cp.num_variables(), 0.0);
+  x[cp.variable(1, 1)] = 0.5;
+  x[cp.variable(2, 1)] = 0.5;
+  EXPECT_TRUE(cp.feasible(x));
+  EXPECT_DOUBLE_EQ(cp.min_slack(x), 0.0);
+}
+
+TEST(ConvexProgram, ObjectiveUsesTenantMass) {
+  Trace t(2);
+  t.append(0, make_page(0, 0));
+  t.append(1, make_page(1, 0));
+  t.append(0, make_page(0, 1));
+  const ConvexProgram cp(t, 2);
+  std::vector<double> x(cp.num_variables(), 0.0);
+  x[cp.variable(make_page(0, 0), 1)] = 1.0;
+  x[cp.variable(make_page(1, 0), 1)] = 0.5;
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));       // x²
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 4.0));  // 4x
+  const auto mass = cp.tenant_mass(x);
+  EXPECT_DOUBLE_EQ(mass[0], 1.0);
+  EXPECT_DOUBLE_EQ(mass[1], 0.5);
+  EXPECT_DOUBLE_EQ(cp.objective(x, costs), 1.0 + 2.0);
+}
+
+TEST(ConvexProgram, RejectsOutOfRangeValues) {
+  const Trace t = from_pages({1, 2});
+  const ConvexProgram cp(t, 2);
+  std::vector<double> x(cp.num_variables(), 1.5);
+  EXPECT_THROW((void)cp.feasible(x), std::invalid_argument);
+  x.assign(cp.num_variables() + 1, 0.0);
+  EXPECT_THROW((void)cp.feasible(x), std::invalid_argument);
+}
+
+// Property: every simulated schedule induces a feasible 0/1 point of the
+// ICP, and on flushed traces the ICP objective (evictions) equals the
+// eviction-accounted cost of the run — the paper's §2.1 equivalence.
+class ScheduleFeasibilityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleFeasibilityTest, LruScheduleIsFeasiblePoint) {
+  Rng rng(GetParam());
+  const Trace base = random_uniform_trace(2, 5, 150, rng);
+  const Trace flushed = base.with_flush(3);
+  const ConvexProgram cp(flushed, 3);
+
+  LruPolicy lru;
+  SimOptions options;
+  options.record_events = true;
+  const SimResult run = run_trace(flushed, 3, lru, nullptr, options);
+  const std::vector<double> x = cp.assignment_from_events(run.events);
+  EXPECT_TRUE(cp.feasible(x));
+
+  // Eviction counts per tenant match the variable mass.
+  const auto mass = cp.tenant_mass(x);
+  for (std::uint32_t i = 0; i < flushed.num_tenants(); ++i)
+    EXPECT_DOUBLE_EQ(mass[i],
+                     static_cast<double>(run.metrics.evictions(i)))
+        << "tenant " << i;
+}
+
+TEST_P(ScheduleFeasibilityTest, AlgContScheduleIsFeasibleToo) {
+  Rng rng(GetParam() + 1000);
+  const Trace base = random_uniform_trace(2, 5, 150, rng);
+  const Trace flushed = base.with_flush(3);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0, 2.0));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 1e15));
+  const PrimalDualRun run = run_alg_cont(flushed, 3, costs);
+  const ConvexProgram cp(flushed, 3);
+  const std::vector<double> x = cp.assignment_from_events(run.events);
+  EXPECT_TRUE(cp.feasible(x));
+  // The ICP objective equals Σ f_i over eviction counts.
+  double expected = 0.0;
+  for (std::uint32_t i = 0; i < flushed.num_tenants(); ++i)
+    expected += costs[i]->value(static_cast<double>(run.final_m[i]));
+  EXPECT_NEAR(cp.objective(x, costs), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFeasibilityTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(ConvexProgram, VariableAtTracksCurrentInterval) {
+  const Trace t = from_pages({1, 2, 1, 2});
+  const ConvexProgram cp(t, 2);
+  EXPECT_EQ(cp.variable_at(1, 0), cp.variable(1, 1));
+  EXPECT_EQ(cp.variable_at(1, 1), cp.variable(1, 1));  // before re-request
+  EXPECT_EQ(cp.variable_at(1, 2), cp.variable(1, 2));
+  EXPECT_EQ(cp.variable_at(2, 3), cp.variable(2, 2));
+  EXPECT_THROW((void)cp.variable_at(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,86 @@
+// Fault-injection tests: the simulator must detect and reject misbehaving
+// policies instead of silently corrupting the cache model.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+/// A policy that deliberately violates the victim contract.
+class FaultyPolicy final : public ReplacementPolicy {
+ public:
+  enum class Fault {
+    kNonResidentVictim,   ///< returns a page that is not in the cache
+    kRequestedPage,       ///< "evicts" the page being requested
+    kQuotaNonResident,    ///< quota_victim returns a non-resident page
+  };
+
+  explicit FaultyPolicy(Fault fault) : fault_(fault) {}
+
+  void reset(const PolicyContext&) override {}
+
+  [[nodiscard]] PageId choose_victim(const Request& request,
+                                     TimeStep) override {
+    if (fault_ == Fault::kRequestedPage) return request.page;
+    return 0xDEADBEEF;  // never resident
+  }
+
+  [[nodiscard]] std::optional<PageId> quota_victim(const Request&,
+                                                   TimeStep) override {
+    if (fault_ == Fault::kQuotaNonResident) return PageId{0xDEADBEEF};
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string name() const override { return "Faulty"; }
+
+ private:
+  Fault fault_;
+};
+
+TEST(FaultInjection, NonResidentVictimDetected) {
+  FaultyPolicy policy(FaultyPolicy::Fault::kNonResidentVictim);
+  SimulatorSession session(1, 1, policy, nullptr);
+  session.step({0, 1});
+  EXPECT_THROW(session.step({0, 2}), std::logic_error);
+}
+
+TEST(FaultInjection, EvictingTheRequestedPageDetected) {
+  // The requested page is not resident at eviction time, so "evicting" it
+  // must fail the residency check.
+  FaultyPolicy policy(FaultyPolicy::Fault::kRequestedPage);
+  SimulatorSession session(1, 1, policy, nullptr);
+  session.step({0, 1});
+  EXPECT_THROW(session.step({0, 2}), std::logic_error);
+}
+
+TEST(FaultInjection, QuotaVictimMustBeResident) {
+  FaultyPolicy policy(FaultyPolicy::Fault::kQuotaNonResident);
+  SimulatorSession session(4, 1, policy, nullptr);
+  EXPECT_THROW(session.step({0, 1}), std::logic_error);
+}
+
+/// A policy whose hooks throw: exceptions must propagate, not corrupt.
+class ThrowingPolicy final : public ReplacementPolicy {
+ public:
+  void reset(const PolicyContext&) override {}
+  void on_hit(const Request&, TimeStep) override {
+    throw std::runtime_error("hit hook failure");
+  }
+  [[nodiscard]] PageId choose_victim(const Request&, TimeStep) override {
+    throw std::runtime_error("victim hook failure");
+  }
+  [[nodiscard]] std::string name() const override { return "Throwing"; }
+};
+
+TEST(FaultInjection, HookExceptionsPropagate) {
+  ThrowingPolicy policy;
+  SimulatorSession session(1, 1, policy, nullptr);
+  session.step({0, 1});  // miss inserts without touching faulty hooks... on_insert default no-op
+  EXPECT_THROW(session.step({0, 1}), std::runtime_error);  // hit hook
+  EXPECT_THROW(session.step({0, 2}), std::runtime_error);  // victim hook
+}
+
+}  // namespace
+}  // namespace ccc

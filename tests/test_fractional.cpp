@@ -1,0 +1,115 @@
+// Tests for the [3]-style fractional caching simulator
+// (core/fractional.hpp).
+#include "core/fractional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "policies/lru.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<CostFunctionPtr> monomials(std::uint32_t n, double beta,
+                                       double scale_step = 0.0) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    costs.push_back(
+        std::make_unique<MonomialCost>(beta, 1.0 + scale_step * i));
+  return costs;
+}
+
+TEST(Fractional, NoPressureMeansNoDuals) {
+  // Distinct pages ≤ k: the packing constraint never binds.
+  Trace t(1);
+  for (const int p : {1, 2, 1, 2}) t.append(0, static_cast<PageId>(p));
+  const auto costs = monomials(1, 1.0);
+  const FractionalResult r = run_fractional_caching(t, 3, costs);
+  EXPECT_DOUBLE_EQ(r.dual_total, 0.0);
+  EXPECT_DOUBLE_EQ(r.tenant_mass[0], 2.0);  // two cold fetches only
+  EXPECT_LE(r.max_violation, 1e-9);
+}
+
+TEST(Fractional, ConstraintsStaySatisfied) {
+  Rng rng(5);
+  const Trace t = random_uniform_trace(2, 8, 800, rng);
+  const auto costs = monomials(2, 2.0, 1.0);
+  const FractionalResult r = run_fractional_caching(t, 4, costs);
+  EXPECT_LE(r.max_violation, 1e-6);
+  EXPECT_GT(r.dual_total, 0.0);
+}
+
+TEST(Fractional, MassIsBoundedByIntegralMisses) {
+  // A fractional algorithm can hold partial pages, so its miss mass never
+  // exceeds the all-or-nothing count of the same structure... it is not a
+  // theorem against arbitrary policies, but against the trace length it
+  // must hold, and cold mass must equal the distinct-page count.
+  Rng rng(6);
+  const Trace t = random_uniform_trace(1, 10, 600, rng);
+  const auto costs = monomials(1, 1.0);
+  const FractionalResult r = run_fractional_caching(t, 5, costs);
+  double total_mass = 0.0;
+  for (const double m : r.tenant_mass) total_mass += m;
+  EXPECT_LE(total_mass, static_cast<double>(t.size()) + 1e-6);
+  EXPECT_GE(total_mass, static_cast<double>(t.distinct_pages()) - 1e-6);
+}
+
+TEST(Fractional, FractionalBeatsIntegralLruOnTightScan) {
+  // The canonical separation: a cyclic scan over k+2 pages. LRU misses on
+  // every request; the fractional profile keeps ~k/(k+2) of each page
+  // resident and pays only a small fraction per re-reference.
+  const std::size_t k = 16;
+  Trace t(1);
+  for (std::size_t i = 0; i < 3600; ++i)
+    t.append(0, static_cast<PageId>(i % (k + 2)));
+  const auto costs = monomials(1, 1.0);
+  const FractionalResult frac = run_fractional_caching(t, k, costs);
+  LruPolicy lru;
+  const SimResult integral = run_trace(t, k, lru, nullptr);
+  EXPECT_EQ(integral.metrics.total_misses(), t.size()) << "LRU thrashes";
+  EXPECT_LT(frac.tenant_mass[0],
+            0.5 * static_cast<double>(integral.metrics.total_misses()))
+      << "fractional mass must be far below the integral miss count";
+}
+
+TEST(Fractional, AdaptiveWeightsShiftMassToCheapTenant) {
+  // Tenant 1 has a much steeper cost; its pages should retain more
+  // residency, pushing miss mass onto tenant 0.
+  Rng rng(8);
+  const Trace t = random_uniform_trace(2, 8, 3000, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 1.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0, 5.0));
+  const FractionalResult r = run_fractional_caching(t, 6, costs);
+  EXPECT_GT(r.tenant_mass[0], r.tenant_mass[1]);
+}
+
+TEST(Fractional, FixedWeightModeMatchesSpiritOfBbn) {
+  // With adaptive weights off, re-running must be exactly reproducible and
+  // weights frozen at f'(1).
+  Rng rng(9);
+  const Trace t = random_uniform_trace(2, 6, 500, rng);
+  const auto costs = monomials(2, 2.0, 2.0);
+  FractionalOptions options;
+  options.adaptive_weights = false;
+  const FractionalResult a = run_fractional_caching(t, 4, costs, options);
+  const FractionalResult b = run_fractional_caching(t, 4, costs, options);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  EXPECT_DOUBLE_EQ(a.movement_cost, b.movement_cost);
+}
+
+TEST(Fractional, ValidatesArguments) {
+  Trace t(1);
+  t.append(0, 1);
+  const auto costs = monomials(1, 1.0);
+  EXPECT_THROW((void)run_fractional_caching(t, 0, costs),
+               std::invalid_argument);
+  const std::vector<CostFunctionPtr> empty;
+  EXPECT_THROW((void)run_fractional_caching(t, 2, empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

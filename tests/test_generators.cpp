@@ -1,0 +1,167 @@
+// Unit tests for workload generators (trace/generators.hpp).
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ccc {
+namespace {
+
+TEST(UniformPages, StaysInUniverseAndIsDeterministic) {
+  UniformPages gen(10);
+  Rng a(1), b(1);
+  auto g2 = gen.clone();
+  for (int i = 0; i < 500; ++i) {
+    const auto x = gen.next(a);
+    EXPECT_LT(x, 10u);
+    EXPECT_EQ(x, g2->next(b));
+  }
+}
+
+TEST(ZipfPages, SkewOrdersFrequencies) {
+  ZipfPages gen(50, 1.2);
+  Rng rng(7);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.next(rng)];
+  // Rank 0 must dominate rank 10 which must dominate rank 40.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+TEST(ZipfPages, ZeroSkewIsUniform) {
+  ZipfPages gen(4, 0.0);
+  Rng rng(7);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.next(rng)];
+  for (const auto& [page, c] : counts) {
+    (void)page;
+    EXPECT_NEAR(c, kDraws / 4, 700);
+  }
+}
+
+TEST(ScanPages, CyclesSequentially) {
+  ScanPages gen(3);
+  Rng rng(1);
+  const std::uint64_t expected[] = {0, 1, 2, 0, 1, 2, 0};
+  for (const std::uint64_t e : expected) EXPECT_EQ(gen.next(rng), e);
+}
+
+TEST(WorkingSetPages, HotPagesDominateWithinPhase) {
+  WorkingSetPages gen(100, 5, 1000000, 0.95);
+  Rng rng(3);
+  int hot = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (gen.next(rng) < 5) ++hot;
+  EXPECT_GT(hot, 9000);  // ~95% hot + a few uniform draws landing hot
+}
+
+TEST(WorkingSetPages, PhaseShiftMovesHotSet) {
+  WorkingSetPages gen(100, 10, 100, 1.0);
+  Rng rng(3);
+  std::map<std::uint64_t, int> first_phase, second_phase;
+  for (int i = 0; i < 100; ++i) ++first_phase[gen.next(rng)];
+  for (int i = 0; i < 100; ++i) ++second_phase[gen.next(rng)];
+  // First phase draws only from [0,10); second from [5,15).
+  for (const auto& [p, c] : first_phase) {
+    (void)c;
+    EXPECT_LT(p, 10u);
+  }
+  bool saw_shifted = false;
+  for (const auto& [p, c] : second_phase) {
+    (void)c;
+    EXPECT_GE(p, 5u);
+    EXPECT_LT(p, 15u);
+    saw_shifted = saw_shifted || p >= 10;
+  }
+  EXPECT_TRUE(saw_shifted);
+}
+
+TEST(GenerateTrace, RespectsWeightsRoughly) {
+  std::vector<TenantWorkload> tenants;
+  tenants.push_back({std::make_unique<UniformPages>(10), 3.0});
+  tenants.push_back({std::make_unique<UniformPages>(10), 1.0});
+  Rng rng(11);
+  const Trace trace = generate_trace(std::move(tenants), 20000, rng);
+  const auto counts = trace.requests_per_tenant();
+  EXPECT_NEAR(static_cast<double>(counts[0]), 15000.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(counts[1]), 5000.0, 500.0);
+}
+
+TEST(GenerateTrace, PagesAreNamespacedByTenant) {
+  Rng rng(5);
+  const Trace trace = random_uniform_trace(3, 4, 300, rng);
+  for (const Request& r : trace) EXPECT_EQ(page_owner(r.page), r.tenant);
+  EXPECT_LE(trace.distinct_pages(), 12u);
+}
+
+TEST(GenerateTrace, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const Trace t1 = random_uniform_trace(2, 5, 100, a);
+  const Trace t2 = random_uniform_trace(2, 5, 100, b);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) EXPECT_EQ(t1[i], t2[i]);
+}
+
+TEST(MarkovPages, FollowsRunsWhenProbabilityIsHigh) {
+  // With follow probability 1 after the first draw, the stream walks the
+  // fixed permutation cycle: consecutive draws must respect successor
+  // structure (each page's successor is always the same page).
+  MarkovPages gen(16, 1.0, 0.8, 42);
+  Rng rng(1);
+  std::uint64_t prev = gen.next(rng);
+  std::map<std::uint64_t, std::uint64_t> successor_seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t cur = gen.next(rng);
+    const auto it = successor_seen.find(prev);
+    if (it != successor_seen.end()) {
+      EXPECT_EQ(it->second, cur) << "cycle must be deterministic";
+    }
+    successor_seen[prev] = cur;
+    prev = cur;
+  }
+}
+
+TEST(MarkovPages, ZeroFollowIsPureZipf) {
+  MarkovPages gen(50, 0.0, 1.2, 7);
+  Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.next(rng)];
+  EXPECT_GT(counts[0], counts[20]);
+}
+
+TEST(MarkovPages, RunsShortenReuseDistance) {
+  // High follow probability produces long sequential runs → the stream
+  // revisits pages in tight cycles, unlike the memoryless counterpart.
+  const auto build = [](double follow) {
+    std::vector<TenantWorkload> w;
+    w.push_back({std::make_unique<MarkovPages>(64, follow, 0.5, 5), 1.0});
+    Rng rng(9);
+    return generate_trace(std::move(w), 4000, rng);
+  };
+  const TraceStats runs = compute_stats(build(0.95));
+  const TraceStats memoryless = compute_stats(build(0.0));
+  EXPECT_NE(runs.mean_reuse_distance, memoryless.mean_reuse_distance);
+}
+
+TEST(MarkovPages, ValidatesParameters) {
+  EXPECT_THROW(MarkovPages(0, 0.5, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(MarkovPages(8, 1.5, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Generators, RejectBadParameters) {
+  EXPECT_THROW(UniformPages(0), std::invalid_argument);
+  EXPECT_THROW(ZipfPages(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfPages(5, -1.0), std::invalid_argument);
+  EXPECT_THROW(ScanPages(0), std::invalid_argument);
+  EXPECT_THROW(WorkingSetPages(10, 0, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(WorkingSetPages(10, 11, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(WorkingSetPages(10, 5, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(WorkingSetPages(10, 5, 5, 1.5), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW((void)generate_trace({}, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

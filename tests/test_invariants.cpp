@@ -1,0 +1,169 @@
+// Tests for the §2.3 invariant checker (core/invariants.hpp) — Lemma 2.1
+// executed: ALG-CONT must satisfy every invariant on flushed traces.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "cost/piecewise_linear.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+// Flush-aware cost set: real tenants get monomials, the dummy flush tenant
+// an effectively infinite linear weight (the paper's "infinite cost" dummy
+// user) so its pages are never evicted.
+std::vector<CostFunctionPtr> flushed_costs(std::uint32_t real_tenants,
+                                           double beta) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < real_tenants; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(beta, 1.0 + i));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 1e15));
+  return costs;
+}
+
+struct InvCase {
+  std::uint64_t seed;
+  double beta;
+  std::uint32_t tenants;
+  std::size_t k;
+  std::size_t length;
+
+  friend std::ostream& operator<<(std::ostream& os, const InvCase& c) {
+    return os << "seed" << c.seed << "_beta" << c.beta << "_n" << c.tenants
+              << "_k" << c.k << "_T" << c.length;
+  }
+};
+
+class InvariantSweep : public ::testing::TestWithParam<InvCase> {};
+
+TEST_P(InvariantSweep, AlgContSatisfiesAllInvariants) {
+  const InvCase c = GetParam();
+  Rng rng(c.seed);
+  const Trace base = random_uniform_trace(c.tenants, 2 * c.k, c.length, rng);
+  const Trace flushed = base.with_flush(c.k);
+  const auto costs = flushed_costs(c.tenants, c.beta);
+
+  const PrimalDualRun run = run_alg_cont(flushed, c.k, costs);
+  const InvariantReport report = check_invariants(run, flushed, c.k, costs);
+  EXPECT_TRUE(report.primal_feasible);
+  EXPECT_TRUE(report.duals_nonnegative);
+  EXPECT_TRUE(report.slackness_z);
+  EXPECT_LE(report.max_slackness_violation, 1e-6)
+      << "complementary slackness (2b) must hold at set time";
+  EXPECT_GE(report.min_gradient_slack, -1e-6)
+      << "gradient condition (3a) must hold at the end of the run";
+  EXPECT_TRUE(report.ok(1e-6));
+  for (const std::string& failure : report.failures)
+    ADD_FAILURE() << failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InvariantSweep,
+    ::testing::Values(InvCase{21, 1.0, 1, 3, 200},
+                      InvCase{22, 2.0, 1, 3, 200},
+                      InvCase{23, 2.0, 2, 4, 300},
+                      InvCase{24, 3.0, 2, 3, 250},
+                      InvCase{25, 2.0, 3, 5, 300},
+                      InvCase{26, 3.0, 3, 4, 200},
+                      InvCase{27, 1.0, 4, 6, 400},
+                      InvCase{28, 2.0, 4, 2, 300}));
+
+TEST(Invariants, SlaCostsAlsoSatisfyInvariants) {
+  // Piecewise-linear convex SLAs (the practical case) must also pass —
+  // the invariants don't need differentiability beyond one-sided slopes.
+  Rng rng(91);
+  const Trace base = random_uniform_trace(2, 6, 300, rng);
+  const Trace flushed = base.with_flush(3);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(5.0, 4.0)));
+  costs.push_back(std::make_unique<PiecewiseLinearCost>(
+      PiecewiseLinearCost::sla(20.0, 10.0)));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 1e15));
+  const PrimalDualRun run = run_alg_cont(flushed, 3, costs);
+  const InvariantReport report = check_invariants(run, flushed, 3, costs);
+  EXPECT_TRUE(report.ok(1e-6));
+}
+
+TEST(Invariants, DetectsCorruptedDuals) {
+  Rng rng(92);
+  const Trace base = random_uniform_trace(2, 4, 100, rng);
+  const Trace flushed = base.with_flush(3);
+  const auto costs = flushed_costs(2, 2.0);
+  PrimalDualRun run = run_alg_cont(flushed, 3, costs);
+  ASSERT_FALSE(run.y.empty());
+  run.y.back() = -1.0;  // corrupt dual feasibility
+  const InvariantReport report = check_invariants(run, flushed, 3, costs);
+  EXPECT_FALSE(report.duals_nonnegative);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Invariants, DetectsCorruptedSlackness) {
+  Rng rng(93);
+  const Trace base = random_uniform_trace(2, 4, 100, rng);
+  const Trace flushed = base.with_flush(3);
+  const auto costs = flushed_costs(2, 2.0);
+  PrimalDualRun run = run_alg_cont(flushed, 3, costs);
+  bool corrupted = false;
+  for (IntervalRecord& rec : run.intervals)
+    if (rec.evicted) {
+      rec.z += 5.0;  // breaks the (2b) equality
+      corrupted = true;
+      break;
+    }
+  ASSERT_TRUE(corrupted);
+  const InvariantReport report = check_invariants(run, flushed, 3, costs);
+  EXPECT_GT(report.max_slackness_violation, 1.0);
+}
+
+TEST(Invariants, DetectsZOnUnEvictedInterval) {
+  Rng rng(94);
+  const Trace base = random_uniform_trace(1, 4, 60, rng);
+  const Trace flushed = base.with_flush(2);
+  const auto costs = flushed_costs(1, 2.0);
+  PrimalDualRun run = run_alg_cont(flushed, 2, costs);
+  bool corrupted = false;
+  for (IntervalRecord& rec : run.intervals)
+    if (!rec.evicted) {
+      rec.z = 1.0;
+      corrupted = true;
+      break;
+    }
+  ASSERT_TRUE(corrupted);
+  const InvariantReport report = check_invariants(run, flushed, 2, costs);
+  EXPECT_FALSE(report.slackness_z);
+}
+
+TEST(Invariants, HoldAtEveryPrefixTime) {
+  // Lemma 2.1 claims the invariants hold *at all times t*, not only at the
+  // end of the run. Replaying every prefix of the (flushed) trace — each
+  // prefix itself flushed so condition (3a)'s later-eviction argument
+  // applies — exercises exactly that.
+  Rng rng(96);
+  const Trace base = random_uniform_trace(2, 4, 60, rng);
+  const auto costs = flushed_costs(2, 2.0);
+  for (std::size_t prefix_len = 1; prefix_len <= base.size();
+       prefix_len += 7) {
+    Trace prefix(base.num_tenants());
+    for (std::size_t t = 0; t < prefix_len; ++t) prefix.append(base[t]);
+    const Trace flushed = prefix.with_flush(3);
+    const PrimalDualRun run = run_alg_cont(flushed, 3, costs);
+    const InvariantReport report = check_invariants(run, flushed, 3, costs);
+    EXPECT_TRUE(report.ok(1e-6)) << "prefix length " << prefix_len;
+  }
+}
+
+TEST(Invariants, LengthMismatchRejected) {
+  Rng rng(95);
+  const Trace t = random_uniform_trace(1, 4, 50, rng);
+  const auto costs = flushed_costs(1, 2.0);
+  const PrimalDualRun run = run_alg_cont(t, 2, costs);
+  const Trace other = random_uniform_trace(1, 4, 49, rng);
+  EXPECT_THROW((void)check_invariants(run, other, 2, costs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

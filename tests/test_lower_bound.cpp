@@ -1,0 +1,109 @@
+// Integration test of Theorem 1.4: the adversarial instance forces every
+// deterministic online policy into an Ω(k)^β gap against the offline
+// batch-balancing scheme.
+#include <gtest/gtest.h>
+
+#include "core/convex_caching.hpp"
+#include "core/theory.hpp"
+#include "cost/monomial.hpp"
+#include "exp/adversary.hpp"
+#include "offline/batch_balance.hpp"
+#include "policies/lru.hpp"
+#include "policies/marking.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<CostFunctionPtr> monomials(std::uint32_t n, double beta) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(beta));
+  return costs;
+}
+
+double offline_cost_on(const Trace& trace, std::uint32_t n,
+                       const std::vector<CostFunctionPtr>& costs) {
+  BatchBalancePolicy offline((n - 1) / 2);
+  const SimResult run = run_trace(trace, n - 1, offline, &costs);
+  return total_cost(run.metrics.miss_vector(), costs);
+}
+
+struct LbCase {
+  std::uint64_t unused_seed;  // adversary is deterministic; kept for sweep
+  std::uint32_t n;
+  double beta;
+
+  friend std::ostream& operator<<(std::ostream& os, const LbCase& c) {
+    return os << "n" << c.n << "_beta" << c.beta;
+  }
+};
+
+class LowerBoundSweep : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(LowerBoundSweep, GapGrowsAsTheoremPredicts) {
+  const LbCase c = GetParam();
+  const auto costs = monomials(c.n, c.beta);
+  const std::size_t length = 1200;
+
+  // Online side: LRU (any deterministic policy suffers the same trace-level
+  // fate — zero hits — so its miss vector is length-determined).
+  LruPolicy lru;
+  const AdversaryRun adv = run_adversary(c.n, length, lru, costs);
+  const double offline = offline_cost_on(adv.trace, c.n, costs);
+  ASSERT_GT(offline, 0.0);
+  const double ratio = adv.alg_cost / offline;
+
+  // The proof's algebra: online ≥ n·(T/n)^β, offline ≤ n·(4T/n²+1)^β.
+  // Demand at least half the idealized (n/4)^β factor to absorb the
+  // finite-T additive slop.
+  const double predicted = theorem14_lower_factor(c.n, c.beta);
+  EXPECT_GT(ratio, 0.5 * predicted)
+      << "n=" << c.n << " beta=" << c.beta << " ratio=" << ratio
+      << " predicted=" << predicted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LowerBoundSweep,
+                         ::testing::Values(LbCase{0, 7, 1.0},
+                                           LbCase{0, 7, 2.0},
+                                           LbCase{0, 9, 2.0},
+                                           LbCase{0, 9, 3.0},
+                                           LbCase{0, 11, 2.0}));
+
+TEST(LowerBound, GapIncreasesWithBeta) {
+  // Fixing n, the ratio must grow with β — the polynomial amplification.
+  const std::uint32_t n = 9;
+  double previous_ratio = 0.0;
+  for (const double beta : {1.0, 2.0, 3.0}) {
+    const auto costs = monomials(n, beta);
+    LruPolicy lru;
+    const AdversaryRun adv = run_adversary(n, 1000, lru, costs);
+    const double offline = offline_cost_on(adv.trace, n, costs);
+    const double ratio = adv.alg_cost / offline;
+    EXPECT_GT(ratio, previous_ratio) << "beta=" << beta;
+    previous_ratio = ratio;
+  }
+}
+
+TEST(LowerBound, ConvexCachingCannotEscapeEither) {
+  // Theorem 1.4 applies to EVERY deterministic online algorithm, including
+  // the paper's own: the adversary adapts to it and forces a miss per step.
+  const std::uint32_t n = 7;
+  const auto costs = monomials(n, 2.0);
+  ConvexCachingPolicy policy;
+  const AdversaryRun adv = run_adversary(n, 800, policy, costs);
+  EXPECT_EQ(adv.alg_metrics.total_hits(), 0u);
+  const double offline = offline_cost_on(adv.trace, n, costs);
+  EXPECT_GT(adv.alg_cost / offline, 2.0);
+}
+
+TEST(LowerBound, MarkingFaresNoBetter) {
+  const std::uint32_t n = 7;
+  const auto costs = monomials(n, 2.0);
+  MarkingPolicy policy;
+  const AdversaryRun adv = run_adversary(n, 800, policy, costs);
+  EXPECT_EQ(adv.alg_metrics.total_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace ccc

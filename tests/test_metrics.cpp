@@ -1,0 +1,54 @@
+// Unit tests for per-tenant accounting (sim/metrics.hpp).
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(Metrics, CountsPerTenant) {
+  Metrics m(3);
+  m.record_hit(0);
+  m.record_miss(0);
+  m.record_miss(1);
+  m.record_eviction(2);
+  EXPECT_EQ(m.hits(0), 1u);
+  EXPECT_EQ(m.misses(0), 1u);
+  EXPECT_EQ(m.misses(1), 1u);
+  EXPECT_EQ(m.evictions(2), 1u);
+  EXPECT_EQ(m.total_hits(), 1u);
+  EXPECT_EQ(m.total_misses(), 2u);
+  EXPECT_EQ(m.total_evictions(), 1u);
+}
+
+TEST(Metrics, RangeChecked) {
+  Metrics m(1);
+  EXPECT_THROW(m.record_hit(1), std::invalid_argument);
+  EXPECT_THROW((void)m.misses(1), std::invalid_argument);
+  EXPECT_THROW(Metrics(0), std::invalid_argument);
+}
+
+TEST(TotalCost, AppliesPerTenantFunctions) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 2.0));  // 2x
+  costs.push_back(std::make_unique<MonomialCost>(2.0));       // x²
+  EXPECT_DOUBLE_EQ(total_cost({3, 4}, costs), 6.0 + 16.0);
+}
+
+TEST(TotalCost, RequiresEnoughFunctions) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0));
+  EXPECT_THROW((void)total_cost({1, 2}, costs), std::invalid_argument);
+}
+
+TEST(UniformCosts, ClonesPrototype) {
+  const MonomialCost proto(2.0, 3.0);
+  const auto costs = uniform_costs(proto, 4);
+  ASSERT_EQ(costs.size(), 4u);
+  for (const auto& f : costs) EXPECT_DOUBLE_EQ(f->value(2.0), 12.0);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,111 @@
+// Tests for Mattson miss-rate curves (analysis/mrc.hpp): the one-pass
+// stack-distance analysis must reproduce direct LRU simulation exactly.
+#include "analysis/mrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/monomial.hpp"
+#include "policies/lru.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(Mrc, HandComputedDistances) {
+  // a b c a b b: distances — a:2 (b,c between), b:2 (c,a), b:0.
+  Trace t(1);
+  for (const int p : {1, 2, 3, 1, 2, 2}) t.append(0, static_cast<PageId>(p));
+  const MissRateCurve curve = compute_mrc(t);
+  // k=1: hits only at distance 0 → misses = 3 cold + 2 (distance 2) = 5.
+  EXPECT_EQ(curve.misses_at(1), 5u);
+  // k=2: distance-0 and 1 hit → still 5? distances are {2,2,0}: d<2 hits
+  // only the 0 → misses = 3 + 2 = 5.
+  EXPECT_EQ(curve.misses_at(2), 5u);
+  // k=3: d<3 hits all three re-references → misses = cold only.
+  EXPECT_EQ(curve.misses_at(3), 3u);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio_at(3), 0.5);
+}
+
+TEST(Mrc, ColdMissesOnly) {
+  Trace t(1);
+  t.append(0, 1);
+  t.append(0, 2);
+  const MissRateCurve curve = compute_mrc(t);
+  for (std::size_t k = 1; k <= 4; ++k) EXPECT_EQ(curve.misses_at(k), 2u);
+}
+
+TEST(Mrc, PerTenantSplitsAddUp) {
+  Rng rng(5);
+  const Trace t = random_uniform_trace(3, 12, 2000, rng);
+  const MissRateCurve curve = compute_mrc(t);
+  for (const std::size_t k : {1u, 3u, 8u, 20u}) {
+    std::uint64_t sum = 0;
+    for (TenantId i = 0; i < 3; ++i) sum += curve.tenant_misses_at(k, i);
+    EXPECT_EQ(sum, curve.misses_at(k)) << "k=" << k;
+  }
+}
+
+TEST(Mrc, MonotoneNonIncreasingInK) {
+  Rng rng(6);
+  const Trace t = random_uniform_trace(2, 20, 3000, rng);
+  const MissRateCurve curve = compute_mrc(t);
+  std::uint64_t prev = curve.misses_at(1);
+  for (std::size_t k = 2; k <= 50; ++k) {
+    const std::uint64_t cur = curve.misses_at(k);
+    EXPECT_LE(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(Mrc, CostCurveUsesTenantFunctions) {
+  Rng rng(7);
+  const Trace t = random_uniform_trace(2, 6, 500, rng);
+  const MissRateCurve curve = compute_mrc(t);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 3.0));
+  const double expected =
+      std::pow(static_cast<double>(curve.tenant_misses_at(4, 0)), 2.0) +
+      3.0 * static_cast<double>(curve.tenant_misses_at(4, 1));
+  EXPECT_DOUBLE_EQ(curve.cost_at(4, costs), expected);
+}
+
+TEST(Mrc, RejectsBadArguments) {
+  Trace t(1);
+  t.append(0, 1);
+  const MissRateCurve curve = compute_mrc(t);
+  EXPECT_THROW((void)curve.misses_at(0), std::invalid_argument);
+  EXPECT_THROW((void)curve.tenant_misses_at(1, 5), std::invalid_argument);
+}
+
+// Property: the curve equals direct LRU simulation for every k — this is
+// the stack property, machine-checked.
+class MrcVsSimulation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MrcVsSimulation, MatchesDirectLruAtEveryCacheSize) {
+  Rng rng(GetParam());
+  // Mix of patterns so distances are non-trivial.
+  std::vector<TenantWorkload> w;
+  w.push_back({std::make_unique<ZipfPages>(30, 0.8), 2.0});
+  w.push_back({std::make_unique<ScanPages>(15), 1.0});
+  const Trace t = generate_trace(std::move(w), 1200, rng);
+  const MissRateCurve curve = compute_mrc(t);
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u}) {
+    LruPolicy lru;
+    const SimResult direct = run_trace(t, k, lru, nullptr);
+    EXPECT_EQ(curve.misses_at(k), direct.metrics.total_misses())
+        << "k=" << k << " seed=" << GetParam();
+    for (TenantId i = 0; i < t.num_tenants(); ++i)
+      EXPECT_EQ(curve.tenant_misses_at(k, i), direct.metrics.misses(i))
+          << "tenant " << i << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrcVsSimulation,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,127 @@
+// Tests for the §5 multipool extension (multipool/multi_pool.hpp).
+#include "multipool/multi_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "policies/lru.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+PolicyFactory lru_factory() {
+  return [] { return std::make_unique<LruPolicy>(); };
+}
+
+std::vector<CostFunctionPtr> quad_costs(std::uint32_t n) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(2.0));
+  return costs;
+}
+
+TEST(MultiPool, RoutesToAssignedPool) {
+  MultiPoolOptions options;
+  options.pool_capacities = {2, 2};
+  const auto costs = quad_costs(2);
+  MultiPoolManager mgr(options, lru_factory(), {0, 1}, costs);
+  mgr.access(0, make_page(0, 0));
+  mgr.access(1, make_page(1, 0));
+  EXPECT_EQ(mgr.pool_of(0), 0u);
+  EXPECT_EQ(mgr.pool_of(1), 1u);
+  // Tenants in different pools never evict each other: fill tenant 1's
+  // pool; tenant 0's page must still be resident (re-access hits).
+  mgr.access(1, make_page(1, 1));
+  mgr.access(1, make_page(1, 2));
+  mgr.access(0, make_page(0, 0));
+  const MultiPoolReport report = mgr.report();
+  EXPECT_EQ(report.hits[0], 1u);
+}
+
+TEST(MultiPool, MigrationDropsPagesAndChargesSwitchingCost) {
+  MultiPoolOptions options;
+  options.pool_capacities = {3, 3};
+  options.switching_cost = 7.5;
+  const auto costs = quad_costs(2);
+  MultiPoolManager mgr(options, lru_factory(), {0, 0}, costs);
+  mgr.access(0, make_page(0, 0));
+  mgr.access(0, make_page(0, 1));
+  mgr.migrate(0, 1);
+  EXPECT_EQ(mgr.pool_of(0), 1u);
+  // Pages were dropped: both re-miss in the new pool.
+  mgr.access(0, make_page(0, 0));
+  mgr.access(0, make_page(0, 1));
+  const MultiPoolReport report = mgr.report();
+  EXPECT_EQ(report.misses[0], 4u);
+  EXPECT_EQ(report.migrations, 1u);
+  EXPECT_DOUBLE_EQ(report.switching_cost_paid, 7.5);
+  EXPECT_DOUBLE_EQ(report.total_cost, report.miss_cost + 7.5);
+}
+
+TEST(MultiPool, MigrationToSamePoolIsNoop) {
+  MultiPoolOptions options;
+  options.pool_capacities = {2};
+  const auto costs = quad_costs(1);
+  MultiPoolManager mgr(options, lru_factory(), {0}, costs);
+  mgr.migrate(0, 0);
+  EXPECT_EQ(mgr.report().migrations, 0u);
+}
+
+TEST(MultiPool, RebalancerMovesHotTenantOffSharedPool) {
+  // Two tenants share pool 0 and thrash; pool 1 is empty. With rebalancing
+  // on and zero switching cost, the manager must eventually migrate one.
+  MultiPoolOptions options;
+  options.pool_capacities = {2, 2};
+  options.rebalance_period = 50;
+  options.switching_cost = 0.0;
+  const auto costs = quad_costs(2);
+  MultiPoolManager mgr(options, lru_factory(), {0, 0}, costs);
+  Rng rng(81);
+  for (int i = 0; i < 500; ++i) {
+    const auto tenant = static_cast<TenantId>(i % 2);
+    mgr.access(tenant, make_page(tenant, rng.next_below(4)));
+  }
+  const MultiPoolReport report = mgr.report();
+  EXPECT_GE(report.migrations, 1u);
+  EXPECT_NE(mgr.pool_of(0), mgr.pool_of(1));
+}
+
+TEST(MultiPool, SeparatePoolsBeatOneSharedPoolUnderPressure) {
+  // The §5 motivation: two pools of size 2 outperform one pool of size 2
+  // shared by both tenants (more total memory), and the framework must
+  // expose that difference.
+  const auto costs = quad_costs(2);
+  Rng rng(82);
+  const Trace t = random_uniform_trace(2, 3, 600, rng);
+
+  MultiPoolOptions shared;
+  shared.pool_capacities = {2};
+  MultiPoolManager one(shared, lru_factory(), {0, 0}, costs);
+  one.replay(t);
+
+  MultiPoolOptions split;
+  split.pool_capacities = {2, 2};
+  MultiPoolManager two(split, lru_factory(), {0, 1}, costs);
+  two.replay(t);
+
+  EXPECT_LT(two.report().miss_cost, one.report().miss_cost);
+}
+
+TEST(MultiPool, ValidatesConfiguration) {
+  const auto costs = quad_costs(2);
+  MultiPoolOptions options;
+  EXPECT_THROW(MultiPoolManager(options, lru_factory(), {0}, costs),
+               std::invalid_argument);  // no pools
+  options.pool_capacities = {2};
+  EXPECT_THROW(MultiPoolManager(options, lru_factory(), {1}, costs),
+               std::invalid_argument);  // pool index out of range
+  EXPECT_THROW(MultiPoolManager(options, nullptr, {0}, costs),
+               std::invalid_argument);
+  MultiPoolManager ok(options, lru_factory(), {0}, costs);
+  EXPECT_THROW(ok.migrate(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)ok.pool_of(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

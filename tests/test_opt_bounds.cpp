@@ -1,0 +1,91 @@
+// Tests for the OPT bracketing machinery (offline/opt_bounds.hpp).
+#include "offline/opt_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(CheapestDistribution, EqualizesConvexMarginals) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  // 6 misses over two identical quadratics → 3 + 3 (cost 18), never 6+0
+  // (cost 36).
+  const OptResult r = cheapest_distribution(6, costs, 2);
+  EXPECT_EQ(r.misses, (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_DOUBLE_EQ(r.cost, 18.0);
+}
+
+TEST(CheapestDistribution, PrefersCheapTenant) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 1.0));   // x
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 10.0));  // 10x
+  const OptResult r = cheapest_distribution(5, costs, 2);
+  EXPECT_EQ(r.misses, (std::vector<std::uint64_t>{5, 0}));
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+}
+
+TEST(CheapestDistribution, MixesWhenMarginalsCross) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));       // marginals 1,3,5,...
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 4.0));  // marginals 4,4,...
+  // Greedy: 1, 3, then 4 vs 5 → distribution (2, then cheap marginal 4...)
+  const OptResult r = cheapest_distribution(4, costs, 2);
+  // marginals taken: 1 (t0), 3 (t0), 4 (t1), 4 (t1) → (2,2), cost 12.
+  EXPECT_EQ(r.misses, (std::vector<std::uint64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(r.cost, 12.0);
+}
+
+TEST(CheapestDistribution, ZeroMissesZeroCost) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  const OptResult r = cheapest_distribution(0, costs, 1);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(EstimateOpt, ExactOnSmallInstances) {
+  Rng rng(51);
+  const Trace t = random_uniform_trace(2, 3, 40, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  const OptEstimate e = estimate_opt(t, 2, costs);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.upper_cost, e.lower_cost);
+}
+
+TEST(EstimateOpt, BracketsOnLargeInstances) {
+  Rng rng(52);
+  const Trace t = random_uniform_trace(3, 40, 2000, rng);
+  std::vector<CostFunctionPtr> costs;
+  for (int i = 0; i < 3; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(2.0));
+  const OptEstimate e = estimate_opt(t, 10, costs);
+  EXPECT_FALSE(e.exact);
+  EXPECT_GT(e.lower_cost, 0.0);
+  EXPECT_GE(e.upper_cost, e.lower_cost);
+}
+
+TEST(EstimateOpt, BracketContainsExactOptimum) {
+  // On instances where both paths are available, the heuristic bracket must
+  // contain the exact optimum.
+  for (std::uint64_t seed = 61; seed < 67; ++seed) {
+    Rng rng(seed);
+    const Trace t = random_uniform_trace(2, 3, 30, rng);
+    std::vector<CostFunctionPtr> costs;
+    costs.push_back(std::make_unique<MonomialCost>(2.0));
+    costs.push_back(std::make_unique<MonomialCost>(3.0));
+    const OptResult exact = exact_opt(t, 2, costs);
+    // Force the heuristic path by setting the page limit to 0.
+    const OptEstimate bracket = estimate_opt(t, 2, costs, 0);
+    EXPECT_LE(bracket.lower_cost, exact.cost + 1e-9) << "seed " << seed;
+    EXPECT_GE(bracket.upper_cost + 1e-9, exact.cost) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ccc

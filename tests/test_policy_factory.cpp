@@ -1,0 +1,51 @@
+// Tests for name-based policy construction (exp/policy_factory.hpp).
+#include "exp/policy_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(PolicyFactory, BuildsEveryAdvertisedPolicy) {
+  for (const std::string& name : online_policy_names()) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty());
+  }
+  EXPECT_NE(make_policy("belady"), nullptr);
+  EXPECT_NE(make_policy("convex-naive"), nullptr);
+  EXPECT_NE(make_policy("convex-discrete"), nullptr);
+  EXPECT_NE(make_policy("random"), nullptr);
+}
+
+TEST(PolicyFactory, UnknownNameListsOptions) {
+  try {
+    (void)make_policy("nope");
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lru"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("convex"), std::string::npos);
+  }
+}
+
+TEST(PolicyFactory, EveryOnlinePolicyRunsEndToEnd) {
+  Rng rng(91);
+  const Trace t = random_uniform_trace(2, 6, 300, rng);
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0, 2.0));
+  for (const std::string& name : online_policy_names()) {
+    const auto policy = make_policy(name);
+    const SimResult result = run_trace(t, 4, *policy, &costs);
+    EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(),
+              t.size())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,150 @@
+// Tests for the ALG-CONT primal–dual simulator (core/primal_dual.hpp):
+// equivalence with ALG-DISCRETE and correctness of the dual bookkeeping.
+#include "core/primal_dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/convex_caching.hpp"
+#include "cost/monomial.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+std::vector<CostFunctionPtr> monomial_costs(std::uint32_t n, double beta) {
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < n; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(beta, 1.0 + i));
+  return costs;
+}
+
+TEST(AlgCont, NoEvictionsMeansZeroDuals) {
+  Trace t(1);
+  t.append(0, 1);
+  t.append(0, 2);
+  t.append(0, 1);
+  const auto costs = monomial_costs(1, 2.0);
+  const PrimalDualRun run = run_alg_cont(t, 2, costs);
+  EXPECT_DOUBLE_EQ(run.y_total(), 0.0);
+  for (const IntervalRecord& rec : run.intervals) {
+    EXPECT_FALSE(rec.evicted);
+    EXPECT_DOUBLE_EQ(rec.z, 0.0);
+  }
+  EXPECT_EQ(run.metrics.total_misses(), 2u);
+  EXPECT_EQ(run.metrics.total_hits(), 1u);
+}
+
+TEST(AlgCont, YRisesByVictimResidual) {
+  // Single tenant, f(x)=x² (f'=2x), k=1, trace 1 2 1 2:
+  //   t1: evict 1; residual = f'(m+1) = f'(1) = 2 → y_1 = 2, m=1.
+  //   t2: evict 2; residual = f'(2) − y-mass-in-interval. Page 2's interval
+  //       started at t1 (after y_1), so its mass is 0 → y_2 = f'(2) = 4.
+  //   t3: evict 1; page 1's interval started at t2... its interval began at
+  //       t2's request of... page 1 was requested at t2 (step index 2);
+  //       y_2 happened *during* step 2 before its insertion → mass 0, so
+  //       y_3 = f'(3) = 6.
+  Trace t(1);
+  for (const int p : {1, 2, 1, 2}) t.append(0, static_cast<PageId>(p));
+  const auto costs = monomial_costs(1, 2.0);
+  const PrimalDualRun run = run_alg_cont(t, 1, costs);
+  ASSERT_EQ(run.y.size(), 4u);
+  EXPECT_DOUBLE_EQ(run.y[0], 0.0);
+  EXPECT_DOUBLE_EQ(run.y[1], 2.0);
+  EXPECT_DOUBLE_EQ(run.y[2], 4.0);
+  EXPECT_DOUBLE_EQ(run.y[3], 6.0);
+  EXPECT_EQ(run.final_m[0], 3u);
+}
+
+TEST(AlgCont, IntervalIndicesCountRequests) {
+  Trace t(1);
+  for (const int p : {1, 2, 1, 1}) t.append(0, static_cast<PageId>(p));
+  const auto costs = monomial_costs(1, 1.0);
+  const PrimalDualRun run = run_alg_cont(t, 2, costs);
+  // Page 1 has intervals j=1,2,3; page 2 has j=1.
+  int page1_intervals = 0, page2_intervals = 0;
+  for (const IntervalRecord& rec : run.intervals) {
+    if (rec.page == 1) ++page1_intervals;
+    if (rec.page == 2) ++page2_intervals;
+  }
+  EXPECT_EQ(page1_intervals, 3);
+  EXPECT_EQ(page2_intervals, 1);
+}
+
+TEST(AlgCont, ZAccruesOnlyAfterEviction) {
+  // k=1, trace: 1 2 3 1. Page 1 evicted at t1 (y=f'(1)); stays out while
+  // y rises at t2 and t3... its interval closes at t3. z(1, j=1) must equal
+  // the y mass strictly between its eviction and its next request: y_2.
+  Trace t(1);
+  for (const int p : {1, 2, 3, 1}) t.append(0, static_cast<PageId>(p));
+  const auto costs = monomial_costs(1, 2.0);
+  const PrimalDualRun run = run_alg_cont(t, 1, costs);
+  const IntervalRecord* first_interval_page1 = nullptr;
+  for (const IntervalRecord& rec : run.intervals)
+    if (rec.page == 1 && rec.index == 1) first_interval_page1 = &rec;
+  ASSERT_NE(first_interval_page1, nullptr);
+  EXPECT_TRUE(first_interval_page1->evicted);
+  // y_2 is the only mass after its eviction (t1) and before its re-request
+  // (t3): z = y_2.
+  EXPECT_DOUBLE_EQ(first_interval_page1->z, run.y[2]);
+}
+
+// ---------------------------------------------------------------------------
+// The central §2.5 claim: ALG-CONT and ALG-DISCRETE are the same algorithm.
+struct EquivCase {
+  std::uint64_t seed;
+  double beta;
+  std::uint32_t tenants;
+  std::size_t k;
+
+  friend std::ostream& operator<<(std::ostream& os, const EquivCase& c) {
+    return os << "seed" << c.seed << "_beta" << c.beta << "_n" << c.tenants
+              << "_k" << c.k;
+  }
+};
+
+class ContDiscreteEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(ContDiscreteEquivalence, EvictionSequencesCoincide) {
+  const EquivCase c = GetParam();
+  Rng rng(c.seed);
+  const Trace t = random_uniform_trace(c.tenants, 2 * c.k, 500, rng);
+  std::vector<CostFunctionPtr> costs;
+  for (std::uint32_t i = 0; i < c.tenants; ++i)
+    costs.push_back(std::make_unique<MonomialCost>(c.beta, 1.0 + i));
+
+  const PrimalDualRun cont = run_alg_cont(t, c.k, costs);
+  ConvexCachingPolicy discrete;
+  SimOptions options;
+  options.record_events = true;
+  const SimResult disc = run_trace(t, c.k, discrete, &costs, options);
+
+  ASSERT_EQ(cont.events.size(), disc.events.size());
+  for (std::size_t i = 0; i < cont.events.size(); ++i) {
+    EXPECT_EQ(cont.events[i].hit, disc.events[i].hit) << "step " << i;
+    EXPECT_EQ(cont.events[i].victim, disc.events[i].victim) << "step " << i;
+  }
+  // Same per-tenant eviction counts, too.
+  for (std::uint32_t i = 0; i < c.tenants; ++i)
+    EXPECT_EQ(cont.final_m[i], disc.metrics.evictions(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ContDiscreteEquivalence,
+    ::testing::Values(EquivCase{11, 1.0, 1, 3}, EquivCase{12, 2.0, 1, 4},
+                      EquivCase{13, 3.0, 2, 3}, EquivCase{14, 2.0, 2, 5},
+                      EquivCase{15, 1.0, 3, 4}, EquivCase{16, 2.0, 3, 2},
+                      EquivCase{17, 3.0, 3, 6}, EquivCase{18, 2.0, 4, 4}));
+
+TEST(AlgCont, YTotalEqualsSumOfY) {
+  Rng rng(44);
+  const Trace t = random_uniform_trace(2, 6, 200, rng);
+  const auto costs = monomial_costs(2, 2.0);
+  const PrimalDualRun run = run_alg_cont(t, 3, costs);
+  EXPECT_DOUBLE_EQ(run.y_total(),
+                   std::accumulate(run.y.begin(), run.y.end(), 0.0));
+}
+
+}  // namespace
+}  // namespace ccc

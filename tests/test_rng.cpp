@@ -1,0 +1,134 @@
+// Unit tests for the deterministic RNG (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ccc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitmixIsDeterministic) {
+  std::uint64_t s1 = 7, s2 = 7;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(4)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 4 - 600);
+    EXPECT_LT(c, kDraws / 4 + 600);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.next_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsRoughlyHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolRespectsProbabilityExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+  EXPECT_THROW((void)rng.next_bool(1.5), std::invalid_argument);
+  EXPECT_THROW((void)rng.next_bool(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (parent() == child()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(33), b(33);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(8);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,82 @@
+// Unit tests for the report-table builder (util/table.hpp).
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ccc {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, AddFormatsMixedTypes) {
+  Table t({"name", "count", "value"});
+  t.add("x", std::uint64_t{7}, 2.5);
+  t.add(std::string("y"), 3, 10.0);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("x,7,2.5000"), std::string::npos);
+  EXPECT_NE(csv.find("y,3,10"), std::string::npos);
+}
+
+TEST(Table, AsciiContainsHeadersAndAlignment) {
+  Table t({"col", "longer_header"});
+  t.add("v", "w");
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("col"), std::string::npos);
+  EXPECT_NE(ascii.find("longer_header"), std::string::npos);
+  EXPECT_NE(ascii.find('+'), std::string::npos);
+  EXPECT_NE(ascii.find('|'), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.add(1, 2);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"x"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundtrip) {
+  Table t({"h1", "h2"});
+  t.add(1, 2);
+  const std::string path = ::testing::TempDir() + "ccc_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h1,h2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"h"});
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,120 @@
+// Tests for the guarantee formulas (core/theory.hpp), including a property
+// sweep of Claim 2.3's inequality (4).
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/exponential.hpp"
+#include "cost/monomial.hpp"
+#include "cost/polynomial.hpp"
+#include "util/rng.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(Theory, CurvatureAlphaTakesTheMax) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(1.0));
+  costs.push_back(std::make_unique<MonomialCost>(3.0));
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  EXPECT_DOUBLE_EQ(curvature_alpha(costs, 100.0), 3.0);
+}
+
+TEST(Theory, Corollary12Factor) {
+  EXPECT_DOUBLE_EQ(corollary12_factor(1.0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(corollary12_factor(2.0, 3), 4.0 * 9.0);
+  EXPECT_DOUBLE_EQ(corollary12_factor(3.0, 2), 27.0 * 8.0);
+  EXPECT_THROW((void)corollary12_factor(0.5, 2), std::invalid_argument);
+}
+
+TEST(Theory, Theorem11BoundExpandsOptMisses) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));  // x²
+  // α=2, k=3, b = (2): f(2·3·2) = 144.
+  EXPECT_DOUBLE_EQ(theorem11_bound(costs, {2}, 3, 2.0), 144.0);
+}
+
+TEST(Theory, Theorem13InterpolatesToTheorem11) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  // h = k: factor α·k/(k−k+1) = α·k, identical to Theorem 1.1.
+  EXPECT_DOUBLE_EQ(theorem13_bound(costs, {2}, 3, 3, 2.0),
+                   theorem11_bound(costs, {2}, 3, 2.0));
+  // h = 1: factor α·k/k = α — the bound collapses to f(α·b).
+  EXPECT_DOUBLE_EQ(theorem13_bound(costs, {2}, 3, 1, 2.0),
+                   costs[0]->value(2.0 * 2.0));
+  EXPECT_THROW((void)theorem13_bound(costs, {2}, 3, 4, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)theorem13_bound(costs, {2}, 3, 0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Theory, Theorem14LowerFactor) {
+  EXPECT_DOUBLE_EQ(theorem14_lower_factor(8, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(theorem14_lower_factor(8, 2.0), 4.0);
+  EXPECT_THROW((void)theorem14_lower_factor(1, 1.0), std::invalid_argument);
+}
+
+TEST(Claim23, TightForSingleIncrement) {
+  // n=1: α·x·f'(x) − x·f'(x) = (α−1)·x·f'(x); for linear f (α=1) it is 0.
+  const MonomialCost linear(1.0, 2.0);
+  EXPECT_NEAR(claim23_residual(linear, {5.0}, 1.0), 0.0, 1e-12);
+}
+
+TEST(Claim23, RejectsNegativeIncrements) {
+  const MonomialCost f(2.0);
+  EXPECT_THROW((void)claim23_residual(f, {1.0, -1.0}, 2.0),
+               std::invalid_argument);
+}
+
+// Property sweep: inequality (4) holds for every convex family member and
+// random non-negative increment sequences.
+class Claim23Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Claim23Sweep, InequalityHoldsOnRandomSequences) {
+  Rng rng(GetParam());
+  std::vector<CostFunctionPtr> family;
+  family.push_back(std::make_unique<MonomialCost>(1.0, 3.0));
+  family.push_back(std::make_unique<MonomialCost>(2.0));
+  family.push_back(std::make_unique<MonomialCost>(3.0, 0.5));
+  family.push_back(
+      std::make_unique<PolynomialCost>(std::vector<double>{0.0, 1.0, 1.0}));
+  family.push_back(std::make_unique<ExponentialCost>(1.0, 0.2));
+
+  for (const auto& f : family) {
+    const std::size_t n = 1 + rng.next_below(20);
+    std::vector<double> xs;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(rng.next_double(0.0, 3.0));
+      sum += xs.back();
+    }
+    if (sum <= 0.0) continue;
+    // α evaluated over the realized range (monotone ratio families).
+    const double alpha = f->alpha(sum);
+    EXPECT_GE(claim23_residual(*f, xs, alpha), -1e-7)
+        << f->describe() << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Claim23Sweep,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Theory, AlphaEstimatorAgreesAcrossFamilies) {
+  // The Theorem 1.1 α used in reports must be consistent whether derived
+  // from closed forms or the numeric estimator.
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.5));
+  costs.push_back(std::make_unique<PolynomialCost>(
+      std::vector<double>{0.0, 2.0, 0.0, 1.0}));
+  const double closed = curvature_alpha(costs, 500.0);
+  double estimated = 0.0;
+  for (const auto& f : costs)
+    estimated = std::max(estimated, estimate_alpha(*f, 500.0));
+  EXPECT_NEAR(closed, estimated, 0.05 * closed);
+}
+
+}  // namespace
+}  // namespace ccc

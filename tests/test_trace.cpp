@@ -1,0 +1,93 @@
+// Unit tests for the trace container (trace/trace.hpp).
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccc {
+namespace {
+
+TEST(PageIdHelpers, RoundTrip) {
+  const PageId p = make_page(7, 1234);
+  EXPECT_EQ(page_owner(p), 7u);
+  EXPECT_EQ(page_local(p), 1234u);
+}
+
+TEST(Trace, AppendAndIterate) {
+  Trace t(2);
+  t.append(0, make_page(0, 0));
+  t.append(1, make_page(1, 0));
+  t.append(0, make_page(0, 0));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.distinct_pages(), 2u);
+  EXPECT_EQ(t[0].tenant, 0u);
+  EXPECT_EQ(t[2].page, make_page(0, 0));
+}
+
+TEST(Trace, RejectsBadTenant) {
+  Trace t(2);
+  EXPECT_THROW(t.append(2, make_page(2, 0)), std::invalid_argument);
+}
+
+TEST(Trace, EnforcesDisjointOwnership) {
+  Trace t(2);
+  t.append(0, 42);
+  EXPECT_THROW(t.append(1, 42), std::invalid_argument);
+  t.append(0, 42);  // same owner is fine
+}
+
+TEST(Trace, OwnerLookup) {
+  Trace t(2);
+  t.append(1, 99);
+  EXPECT_EQ(t.owner(99), 1u);
+  EXPECT_THROW((void)t.owner(100), std::invalid_argument);
+}
+
+TEST(Trace, PerTenantCounts) {
+  Trace t(3);
+  t.append(0, make_page(0, 0));
+  t.append(0, make_page(0, 1));
+  t.append(0, make_page(0, 0));
+  t.append(2, make_page(2, 0));
+  EXPECT_EQ(t.requests_per_tenant(), (std::vector<std::uint64_t>{3, 0, 1}));
+  EXPECT_EQ(t.pages_per_tenant(), (std::vector<std::uint64_t>{2, 0, 1}));
+}
+
+TEST(Trace, WithFlushAppendsDummyTenant) {
+  Trace t(2);
+  t.append(0, make_page(0, 0));
+  const Trace flushed = t.with_flush(3);
+  EXPECT_EQ(flushed.num_tenants(), 3u);
+  EXPECT_EQ(flushed.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(flushed[i].tenant, 2u);
+  // Dummy pages are distinct.
+  EXPECT_EQ(flushed.distinct_pages(), 4u);
+}
+
+TEST(TraceStats, ReuseDistance) {
+  Trace t(1);
+  // a b c a: reuse of a sees {b, c} in between → distance 2.
+  t.append(0, 1);
+  t.append(0, 2);
+  t.append(0, 3);
+  t.append(0, 1);
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.length, 4u);
+  EXPECT_EQ(stats.distinct_pages, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_reuse_distance, 2.0);
+  EXPECT_DOUBLE_EQ(stats.hit_fraction_infinite, 0.25);
+}
+
+TEST(TraceStats, RepeatedPageHasZeroDistance) {
+  Trace t(1);
+  t.append(0, 1);
+  t.append(0, 1);
+  const TraceStats stats = compute_stats(t);
+  EXPECT_DOUBLE_EQ(stats.mean_reuse_distance, 0.0);
+}
+
+TEST(Trace, NeedsTenants) {
+  EXPECT_THROW(Trace(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,68 @@
+// Unit tests for trace serialization (trace/trace_io.hpp).
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(TraceIo, StreamRoundTrip) {
+  Rng rng(9);
+  const Trace original = random_uniform_trace(3, 5, 200, rng);
+  std::stringstream buffer;
+  save_trace(buffer, original);
+  const Trace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_tenants(), original.num_tenants());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Rng rng(10);
+  const Trace original = random_uniform_trace(2, 3, 50, rng);
+  const std::string path = ::testing::TempDir() + "ccc_trace_test.txt";
+  save_trace_file(path, original);
+  const Trace loaded = load_trace_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsWrongMagic) {
+  std::stringstream buffer("not-a-trace 1\n1 0\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream buffer("ccc-trace 2\n1 0\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedBody) {
+  std::stringstream buffer("ccc-trace 1\n1 3\n0 1\n0 2\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_THROW((void)load_trace_file("/nonexistent_xyz/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace empty(4);
+  std::stringstream buffer;
+  save_trace(buffer, empty);
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.num_tenants(), 4u);
+}
+
+}  // namespace
+}  // namespace ccc

@@ -1,0 +1,125 @@
+// Tests for trace transforms (trace/transforms.hpp) and the binary
+// serialization format (trace/trace_io.hpp).
+#include "trace/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(Slice, ExtractsRange) {
+  Trace t(1);
+  for (const int p : {1, 2, 3, 4, 5}) t.append(0, static_cast<PageId>(p));
+  const Trace mid = slice(t, 1, 4);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0].page, 2u);
+  EXPECT_EQ(mid[2].page, 4u);
+  EXPECT_EQ(slice(t, 2, 2).size(), 0u);
+  EXPECT_THROW((void)slice(t, 3, 2), std::invalid_argument);
+  EXPECT_THROW((void)slice(t, 0, 6), std::invalid_argument);
+}
+
+TEST(Concat, JoinsAndRechecksOwnership) {
+  Trace a(2), b(2);
+  a.append(0, make_page(0, 1));
+  b.append(1, make_page(1, 1));
+  const Trace joined = concat(a, b);
+  EXPECT_EQ(joined.size(), 2u);
+  // Ownership conflicts are rejected.
+  Trace c(2);
+  c.append(1, make_page(0, 1));  // same page id, different tenant
+  EXPECT_THROW((void)concat(a, c), std::invalid_argument);
+  Trace d(3);
+  EXPECT_THROW((void)concat(a, d), std::invalid_argument);
+}
+
+TEST(IsolateTenant, FiltersAndRenumbers) {
+  Rng rng(4);
+  const Trace t = random_uniform_trace(3, 4, 300, rng);
+  const Trace only1 = isolate_tenant(t, 1);
+  EXPECT_EQ(only1.num_tenants(), 1u);
+  EXPECT_EQ(only1.size(), t.requests_per_tenant()[1]);
+  for (const Request& r : only1) EXPECT_EQ(r.tenant, 0u);
+  EXPECT_THROW((void)isolate_tenant(t, 5), std::invalid_argument);
+}
+
+TEST(Sample, ThinsApproximately) {
+  Rng gen(5), rng(6);
+  const Trace t = random_uniform_trace(1, 10, 10000, gen);
+  const Trace thinned = sample(t, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(thinned.size()), 3000.0, 300.0);
+  Rng rng2(7);
+  EXPECT_EQ(sample(t, 0.0, rng2).size(), 0u);
+  Rng rng3(8);
+  EXPECT_EQ(sample(t, 1.0, rng3).size(), t.size());
+  Rng rng4(9);
+  EXPECT_THROW((void)sample(t, 1.5, rng4), std::invalid_argument);
+}
+
+TEST(Interleave, MergesWithShiftedTenants) {
+  Rng ga(1), gb(2), rng(3);
+  const Trace a = random_uniform_trace(2, 3, 100, ga);
+  Trace b(1);
+  for (int i = 0; i < 50; ++i) b.append(0, make_page(7, static_cast<PageId>(i)));
+  const Trace merged = interleave(a, b, 1.0, 1.0, rng);
+  EXPECT_EQ(merged.size(), 150u);
+  EXPECT_EQ(merged.num_tenants(), 3u);
+  // b's requests must appear as tenant 2.
+  std::uint64_t b_count = 0;
+  for (const Request& r : merged)
+    if (r.tenant == 2) ++b_count;
+  EXPECT_EQ(b_count, 50u);
+}
+
+TEST(BinaryTraceIo, RoundTrip) {
+  Rng rng(11);
+  const Trace original = random_uniform_trace(3, 6, 500, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_trace_binary(buffer, original);
+  const Trace loaded = load_trace_binary(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_tenants(), original.num_tenants());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(BinaryTraceIo, FileRoundTrip) {
+  Rng rng(12);
+  const Trace original = random_uniform_trace(2, 4, 200, rng);
+  const std::string path = ::testing::TempDir() + "ccc_trace_test.bin";
+  save_trace_binary_file(path, original);
+  const Trace loaded = load_trace_binary_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceIo, RejectsCorruptInput) {
+  std::stringstream bad("XXXX garbage");
+  EXPECT_THROW((void)load_trace_binary(bad), std::runtime_error);
+  // Truncated body.
+  Rng rng(13);
+  const Trace t = random_uniform_trace(1, 3, 20, rng);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_trace_binary(buffer, t);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)load_trace_binary(truncated), std::runtime_error);
+}
+
+TEST(BinaryTraceIo, FixedRecordSize) {
+  Rng rng(14);
+  const Trace t = random_uniform_trace(2, 8, 2000, rng);
+  std::stringstream binary(std::ios::in | std::ios::out | std::ios::binary);
+  save_trace_binary(binary, t);
+  // Header: 4 magic + 4 version + 4 tenants + 8 count; body: 12 bytes each.
+  EXPECT_EQ(binary.str().size(), 20u + 12u * t.size());
+}
+
+}  // namespace
+}  // namespace ccc

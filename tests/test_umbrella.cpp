@@ -1,0 +1,38 @@
+// Compile-and-run check of the umbrella header (src/ccc.hpp): the public
+// API advertised in the README must work end to end through it alone.
+#include "ccc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccc {
+namespace {
+
+TEST(Umbrella, ReadmeQuickstartCompilesAndRuns) {
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 2.0));
+
+  Rng rng(42);
+  const Trace trace = random_uniform_trace(2, 16, 2000, rng);
+
+  ConvexCachingPolicy policy;
+  const SimResult result = run_trace(trace, 8, policy, &costs);
+  const double cost = total_cost(result.metrics.miss_vector(), costs);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(),
+            trace.size());
+}
+
+TEST(Umbrella, EveryAdvertisedEntryPointIsReachable) {
+  // Touch one symbol from each module pulled in by the umbrella header.
+  EXPECT_NO_THROW((void)parse_cost_spec("mono:2"));
+  EXPECT_NO_THROW((void)make_policy("arc"));
+  EXPECT_DOUBLE_EQ(corollary12_factor(2.0, 2), 16.0);
+  Trace t(1);
+  t.append(0, 1);
+  EXPECT_EQ(compute_mrc(t).misses_at(1), 1u);
+  EXPECT_EQ(slice(t, 0, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccc

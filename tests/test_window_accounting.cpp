@@ -1,0 +1,91 @@
+// Tests for SLA window accounting (bufferpool/window_accounting.hpp).
+#include "bufferpool/window_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/monomial.hpp"
+#include "cost/piecewise_linear.hpp"
+
+namespace ccc {
+namespace {
+
+TEST(WindowAccounting, SingleWindowModeAggregatesEverything) {
+  WindowAccounting acc(2, 0);
+  acc.record_miss(0, 5);
+  acc.record_miss(0, 500);
+  acc.record_miss(1, 1000);
+  acc.finish();
+  const MonomialCost quad(2.0);
+  EXPECT_DOUBLE_EQ(acc.tenant_cost(0, quad), 4.0);
+  EXPECT_DOUBLE_EQ(acc.tenant_cost(1, quad), 1.0);
+}
+
+TEST(WindowAccounting, WindowedConvexityPenalizesBursts) {
+  // Same total misses, different temporal patterns: bursty misses cost
+  // more under a per-window convex cost.
+  const MonomialCost quad(2.0);
+  WindowAccounting bursty(1, 10), spread(1, 10);
+  for (int i = 0; i < 4; ++i) bursty.record_miss(0, static_cast<TimeStep>(i));
+  for (int i = 0; i < 4; ++i)
+    spread.record_miss(0, static_cast<TimeStep>(i * 10));
+  bursty.finish();
+  spread.finish();
+  EXPECT_DOUBLE_EQ(bursty.tenant_cost(0, quad), 16.0);  // 4² in one window
+  EXPECT_DOUBLE_EQ(spread.tenant_cost(0, quad), 4.0);   // 1² × 4 windows
+}
+
+TEST(WindowAccounting, WindowBoundariesAreExact) {
+  WindowAccounting acc(1, 5);
+  acc.record_miss(0, 4);  // window 0
+  acc.record_miss(0, 5);  // window 1
+  acc.finish();
+  const auto& windows = acc.windows(0);
+  ASSERT_GE(windows.size(), 2u);
+  EXPECT_EQ(windows[0], 1u);
+  EXPECT_EQ(windows[1], 1u);
+}
+
+TEST(WindowAccounting, EmptyWindowsAreMaterialized) {
+  WindowAccounting acc(1, 5);
+  acc.record_miss(0, 0);
+  acc.record_miss(0, 20);  // windows 1..3 in between are empty
+  acc.finish();
+  const auto& windows = acc.windows(0);
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_EQ(windows[1], 0u);
+  EXPECT_EQ(windows[2], 0u);
+  EXPECT_EQ(windows[3], 0u);
+}
+
+TEST(WindowAccounting, SlaRefundOnlyAboveTolerance) {
+  WindowAccounting acc(1, 10);
+  for (int i = 0; i < 8; ++i) acc.record_miss(0, static_cast<TimeStep>(i));
+  acc.finish();
+  const auto sla = PiecewiseLinearCost::sla(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(acc.tenant_cost(0, sla), (8.0 - 5.0) * 2.0);
+}
+
+TEST(WindowAccounting, GuardsMisuse) {
+  WindowAccounting acc(1, 5);
+  EXPECT_THROW(acc.record_miss(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)acc.tenant_cost(0, MonomialCost(1.0)),
+               std::invalid_argument);  // before finish()
+  acc.finish();
+  EXPECT_THROW(acc.record_miss(0, 10), std::invalid_argument);
+  EXPECT_THROW(WindowAccounting(0, 5), std::invalid_argument);
+}
+
+TEST(WindowAccounting, TotalCostSumsTenants) {
+  WindowAccounting acc(2, 0);
+  acc.record_miss(0, 0);
+  acc.record_miss(0, 1);
+  acc.record_miss(1, 2);
+  acc.finish();
+  std::vector<CostFunctionPtr> costs;
+  costs.push_back(std::make_unique<MonomialCost>(2.0));       // 4
+  costs.push_back(std::make_unique<MonomialCost>(1.0, 3.0));  // 3
+  EXPECT_DOUBLE_EQ(acc.total_cost(costs), 7.0);
+}
+
+}  // namespace
+}  // namespace ccc
