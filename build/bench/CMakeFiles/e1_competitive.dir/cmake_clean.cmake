@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_competitive.dir/e1_competitive.cpp.o"
+  "CMakeFiles/e1_competitive.dir/e1_competitive.cpp.o.d"
+  "e1_competitive"
+  "e1_competitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

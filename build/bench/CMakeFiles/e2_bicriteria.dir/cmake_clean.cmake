@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_bicriteria.dir/e2_bicriteria.cpp.o"
+  "CMakeFiles/e2_bicriteria.dir/e2_bicriteria.cpp.o.d"
+  "e2_bicriteria"
+  "e2_bicriteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_bicriteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_lowerbound.dir/e3_lowerbound.cpp.o"
+  "CMakeFiles/e3_lowerbound.dir/e3_lowerbound.cpp.o.d"
+  "e3_lowerbound"
+  "e3_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

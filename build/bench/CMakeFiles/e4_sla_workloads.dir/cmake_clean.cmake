@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_sla_workloads.dir/e4_sla_workloads.cpp.o"
+  "CMakeFiles/e4_sla_workloads.dir/e4_sla_workloads.cpp.o.d"
+  "e4_sla_workloads"
+  "e4_sla_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_sla_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

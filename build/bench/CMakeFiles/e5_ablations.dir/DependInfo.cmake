@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e5_ablations.cpp" "bench/CMakeFiles/e5_ablations.dir/e5_ablations.cpp.o" "gcc" "bench/CMakeFiles/e5_ablations.dir/e5_ablations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ccc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/ccc_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipool/CMakeFiles/ccc_multipool.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/ccc_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ccc_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_ablations.dir/e5_ablations.cpp.o"
+  "CMakeFiles/e5_ablations.dir/e5_ablations.cpp.o.d"
+  "e5_ablations"
+  "e5_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

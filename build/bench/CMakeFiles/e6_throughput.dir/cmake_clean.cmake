@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_throughput.dir/e6_throughput.cpp.o"
+  "CMakeFiles/e6_throughput.dir/e6_throughput.cpp.o.d"
+  "e6_throughput"
+  "e6_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_multipool.dir/e7_multipool.cpp.o"
+  "CMakeFiles/e7_multipool.dir/e7_multipool.cpp.o.d"
+  "e7_multipool"
+  "e7_multipool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_multipool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_mrc.dir/e8_mrc.cpp.o"
+  "CMakeFiles/e8_mrc.dir/e8_mrc.cpp.o.d"
+  "e8_mrc"
+  "e8_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_fractional.dir/e9_fractional.cpp.o"
+  "CMakeFiles/e9_fractional.dir/e9_fractional.cpp.o.d"
+  "e9_fractional"
+  "e9_fractional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_fractional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

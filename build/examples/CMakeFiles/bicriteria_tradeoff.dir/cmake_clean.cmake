@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicriteria_tradeoff.dir/bicriteria_tradeoff.cpp.o"
+  "CMakeFiles/bicriteria_tradeoff.dir/bicriteria_tradeoff.cpp.o.d"
+  "bicriteria_tradeoff"
+  "bicriteria_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicriteria_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipool_migration.dir/multipool_migration.cpp.o"
+  "CMakeFiles/multipool_migration.dir/multipool_migration.cpp.o.d"
+  "multipool_migration"
+  "multipool_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipool_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

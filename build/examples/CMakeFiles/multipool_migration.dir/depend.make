@@ -1,0 +1,2 @@
+# Empty dependencies file for multipool_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_buffer_pool.dir/sla_buffer_pool.cpp.o"
+  "CMakeFiles/sla_buffer_pool.dir/sla_buffer_pool.cpp.o.d"
+  "sla_buffer_pool"
+  "sla_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

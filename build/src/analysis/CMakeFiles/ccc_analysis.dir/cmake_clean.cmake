@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_analysis.dir/mrc.cpp.o"
+  "CMakeFiles/ccc_analysis.dir/mrc.cpp.o.d"
+  "libccc_analysis.a"
+  "libccc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bufferpool/buffer_pool.cpp" "src/bufferpool/CMakeFiles/ccc_bufferpool.dir/buffer_pool.cpp.o" "gcc" "src/bufferpool/CMakeFiles/ccc_bufferpool.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/bufferpool/window_accounting.cpp" "src/bufferpool/CMakeFiles/ccc_bufferpool.dir/window_accounting.cpp.o" "gcc" "src/bufferpool/CMakeFiles/ccc_bufferpool.dir/window_accounting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

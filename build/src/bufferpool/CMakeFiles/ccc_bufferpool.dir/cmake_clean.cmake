@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_bufferpool.dir/buffer_pool.cpp.o"
+  "CMakeFiles/ccc_bufferpool.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/ccc_bufferpool.dir/window_accounting.cpp.o"
+  "CMakeFiles/ccc_bufferpool.dir/window_accounting.cpp.o.d"
+  "libccc_bufferpool.a"
+  "libccc_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convex_caching.cpp" "src/core/CMakeFiles/ccc_core.dir/convex_caching.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/convex_caching.cpp.o.d"
+  "/root/repo/src/core/convex_program.cpp" "src/core/CMakeFiles/ccc_core.dir/convex_program.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/convex_program.cpp.o.d"
+  "/root/repo/src/core/fractional.cpp" "src/core/CMakeFiles/ccc_core.dir/fractional.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/fractional.cpp.o.d"
+  "/root/repo/src/core/invariants.cpp" "src/core/CMakeFiles/ccc_core.dir/invariants.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/invariants.cpp.o.d"
+  "/root/repo/src/core/naive_convex_caching.cpp" "src/core/CMakeFiles/ccc_core.dir/naive_convex_caching.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/naive_convex_caching.cpp.o.d"
+  "/root/repo/src/core/primal_dual.cpp" "src/core/CMakeFiles/ccc_core.dir/primal_dual.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/primal_dual.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/ccc_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/ccc_core.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

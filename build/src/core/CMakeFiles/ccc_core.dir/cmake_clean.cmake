@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_core.dir/convex_caching.cpp.o"
+  "CMakeFiles/ccc_core.dir/convex_caching.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/convex_program.cpp.o"
+  "CMakeFiles/ccc_core.dir/convex_program.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/fractional.cpp.o"
+  "CMakeFiles/ccc_core.dir/fractional.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/invariants.cpp.o"
+  "CMakeFiles/ccc_core.dir/invariants.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/naive_convex_caching.cpp.o"
+  "CMakeFiles/ccc_core.dir/naive_convex_caching.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/primal_dual.cpp.o"
+  "CMakeFiles/ccc_core.dir/primal_dual.cpp.o.d"
+  "CMakeFiles/ccc_core.dir/theory.cpp.o"
+  "CMakeFiles/ccc_core.dir/theory.cpp.o.d"
+  "libccc_core.a"
+  "libccc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/combinators.cpp" "src/cost/CMakeFiles/ccc_cost.dir/combinators.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/combinators.cpp.o.d"
+  "/root/repo/src/cost/cost_function.cpp" "src/cost/CMakeFiles/ccc_cost.dir/cost_function.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/cost_function.cpp.o.d"
+  "/root/repo/src/cost/exponential.cpp" "src/cost/CMakeFiles/ccc_cost.dir/exponential.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/exponential.cpp.o.d"
+  "/root/repo/src/cost/monomial.cpp" "src/cost/CMakeFiles/ccc_cost.dir/monomial.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/monomial.cpp.o.d"
+  "/root/repo/src/cost/piecewise_linear.cpp" "src/cost/CMakeFiles/ccc_cost.dir/piecewise_linear.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/piecewise_linear.cpp.o.d"
+  "/root/repo/src/cost/polynomial.cpp" "src/cost/CMakeFiles/ccc_cost.dir/polynomial.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/polynomial.cpp.o.d"
+  "/root/repo/src/cost/spec.cpp" "src/cost/CMakeFiles/ccc_cost.dir/spec.cpp.o" "gcc" "src/cost/CMakeFiles/ccc_cost.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_cost.dir/combinators.cpp.o"
+  "CMakeFiles/ccc_cost.dir/combinators.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/cost_function.cpp.o"
+  "CMakeFiles/ccc_cost.dir/cost_function.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/exponential.cpp.o"
+  "CMakeFiles/ccc_cost.dir/exponential.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/monomial.cpp.o"
+  "CMakeFiles/ccc_cost.dir/monomial.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/piecewise_linear.cpp.o"
+  "CMakeFiles/ccc_cost.dir/piecewise_linear.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/polynomial.cpp.o"
+  "CMakeFiles/ccc_cost.dir/polynomial.cpp.o.d"
+  "CMakeFiles/ccc_cost.dir/spec.cpp.o"
+  "CMakeFiles/ccc_cost.dir/spec.cpp.o.d"
+  "libccc_cost.a"
+  "libccc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_exp.dir/adversary.cpp.o"
+  "CMakeFiles/ccc_exp.dir/adversary.cpp.o.d"
+  "CMakeFiles/ccc_exp.dir/policy_factory.cpp.o"
+  "CMakeFiles/ccc_exp.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/ccc_exp.dir/ratio.cpp.o"
+  "CMakeFiles/ccc_exp.dir/ratio.cpp.o.d"
+  "libccc_exp.a"
+  "libccc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

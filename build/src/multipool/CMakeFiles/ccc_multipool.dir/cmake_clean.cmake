@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_multipool.dir/multi_pool.cpp.o"
+  "CMakeFiles/ccc_multipool.dir/multi_pool.cpp.o.d"
+  "libccc_multipool.a"
+  "libccc_multipool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_multipool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/batch_balance.cpp" "src/offline/CMakeFiles/ccc_offline.dir/batch_balance.cpp.o" "gcc" "src/offline/CMakeFiles/ccc_offline.dir/batch_balance.cpp.o.d"
+  "/root/repo/src/offline/exact_opt.cpp" "src/offline/CMakeFiles/ccc_offline.dir/exact_opt.cpp.o" "gcc" "src/offline/CMakeFiles/ccc_offline.dir/exact_opt.cpp.o.d"
+  "/root/repo/src/offline/opt_bounds.cpp" "src/offline/CMakeFiles/ccc_offline.dir/opt_bounds.cpp.o" "gcc" "src/offline/CMakeFiles/ccc_offline.dir/opt_bounds.cpp.o.d"
+  "/root/repo/src/offline/weighted_belady.cpp" "src/offline/CMakeFiles/ccc_offline.dir/weighted_belady.cpp.o" "gcc" "src/offline/CMakeFiles/ccc_offline.dir/weighted_belady.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ccc_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

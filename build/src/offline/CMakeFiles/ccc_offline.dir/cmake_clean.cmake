@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_offline.dir/batch_balance.cpp.o"
+  "CMakeFiles/ccc_offline.dir/batch_balance.cpp.o.d"
+  "CMakeFiles/ccc_offline.dir/exact_opt.cpp.o"
+  "CMakeFiles/ccc_offline.dir/exact_opt.cpp.o.d"
+  "CMakeFiles/ccc_offline.dir/opt_bounds.cpp.o"
+  "CMakeFiles/ccc_offline.dir/opt_bounds.cpp.o.d"
+  "CMakeFiles/ccc_offline.dir/weighted_belady.cpp.o"
+  "CMakeFiles/ccc_offline.dir/weighted_belady.cpp.o.d"
+  "libccc_offline.a"
+  "libccc_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/arc.cpp" "src/policies/CMakeFiles/ccc_policies.dir/arc.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/arc.cpp.o.d"
+  "/root/repo/src/policies/belady.cpp" "src/policies/CMakeFiles/ccc_policies.dir/belady.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/belady.cpp.o.d"
+  "/root/repo/src/policies/clock.cpp" "src/policies/CMakeFiles/ccc_policies.dir/clock.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/clock.cpp.o.d"
+  "/root/repo/src/policies/fifo.cpp" "src/policies/CMakeFiles/ccc_policies.dir/fifo.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/fifo.cpp.o.d"
+  "/root/repo/src/policies/landlord.cpp" "src/policies/CMakeFiles/ccc_policies.dir/landlord.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/landlord.cpp.o.d"
+  "/root/repo/src/policies/lfu.cpp" "src/policies/CMakeFiles/ccc_policies.dir/lfu.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/lfu.cpp.o.d"
+  "/root/repo/src/policies/lru.cpp" "src/policies/CMakeFiles/ccc_policies.dir/lru.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/lru.cpp.o.d"
+  "/root/repo/src/policies/lru_k.cpp" "src/policies/CMakeFiles/ccc_policies.dir/lru_k.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/lru_k.cpp.o.d"
+  "/root/repo/src/policies/marking.cpp" "src/policies/CMakeFiles/ccc_policies.dir/marking.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/marking.cpp.o.d"
+  "/root/repo/src/policies/random_policy.cpp" "src/policies/CMakeFiles/ccc_policies.dir/random_policy.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/random_policy.cpp.o.d"
+  "/root/repo/src/policies/randomized_marking.cpp" "src/policies/CMakeFiles/ccc_policies.dir/randomized_marking.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/randomized_marking.cpp.o.d"
+  "/root/repo/src/policies/static_partition.cpp" "src/policies/CMakeFiles/ccc_policies.dir/static_partition.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/static_partition.cpp.o.d"
+  "/root/repo/src/policies/two_q.cpp" "src/policies/CMakeFiles/ccc_policies.dir/two_q.cpp.o" "gcc" "src/policies/CMakeFiles/ccc_policies.dir/two_q.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_policies.dir/arc.cpp.o"
+  "CMakeFiles/ccc_policies.dir/arc.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/belady.cpp.o"
+  "CMakeFiles/ccc_policies.dir/belady.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/clock.cpp.o"
+  "CMakeFiles/ccc_policies.dir/clock.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/fifo.cpp.o"
+  "CMakeFiles/ccc_policies.dir/fifo.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/landlord.cpp.o"
+  "CMakeFiles/ccc_policies.dir/landlord.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/lfu.cpp.o"
+  "CMakeFiles/ccc_policies.dir/lfu.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/lru.cpp.o"
+  "CMakeFiles/ccc_policies.dir/lru.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/lru_k.cpp.o"
+  "CMakeFiles/ccc_policies.dir/lru_k.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/marking.cpp.o"
+  "CMakeFiles/ccc_policies.dir/marking.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/random_policy.cpp.o"
+  "CMakeFiles/ccc_policies.dir/random_policy.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/randomized_marking.cpp.o"
+  "CMakeFiles/ccc_policies.dir/randomized_marking.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/static_partition.cpp.o"
+  "CMakeFiles/ccc_policies.dir/static_partition.cpp.o.d"
+  "CMakeFiles/ccc_policies.dir/two_q.cpp.o"
+  "CMakeFiles/ccc_policies.dir/two_q.cpp.o.d"
+  "libccc_policies.a"
+  "libccc_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccc_trace.dir/generators.cpp.o"
+  "CMakeFiles/ccc_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/ccc_trace.dir/trace.cpp.o"
+  "CMakeFiles/ccc_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/ccc_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ccc_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/ccc_trace.dir/transforms.cpp.o"
+  "CMakeFiles/ccc_trace.dir/transforms.cpp.o.d"
+  "libccc_trace.a"
+  "libccc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversary.cpp" "tests/CMakeFiles/ccc_tests.dir/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_adversary.cpp.o.d"
+  "/root/repo/tests/test_arc.cpp" "tests/CMakeFiles/ccc_tests.dir/test_arc.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_arc.cpp.o.d"
+  "/root/repo/tests/test_batch_balance.cpp" "tests/CMakeFiles/ccc_tests.dir/test_batch_balance.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_batch_balance.cpp.o.d"
+  "/root/repo/tests/test_belady.cpp" "tests/CMakeFiles/ccc_tests.dir/test_belady.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_belady.cpp.o.d"
+  "/root/repo/tests/test_buffer_pool.cpp" "tests/CMakeFiles/ccc_tests.dir/test_buffer_pool.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_buffer_pool.cpp.o.d"
+  "/root/repo/tests/test_cache_state.cpp" "tests/CMakeFiles/ccc_tests.dir/test_cache_state.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_cache_state.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/ccc_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_clock.cpp" "tests/CMakeFiles/ccc_tests.dir/test_clock.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_clock.cpp.o.d"
+  "/root/repo/tests/test_competitive_bound.cpp" "tests/CMakeFiles/ccc_tests.dir/test_competitive_bound.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_competitive_bound.cpp.o.d"
+  "/root/repo/tests/test_convex_caching.cpp" "tests/CMakeFiles/ccc_tests.dir/test_convex_caching.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_convex_caching.cpp.o.d"
+  "/root/repo/tests/test_convex_program.cpp" "tests/CMakeFiles/ccc_tests.dir/test_convex_program.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_convex_program.cpp.o.d"
+  "/root/repo/tests/test_cost_functions.cpp" "tests/CMakeFiles/ccc_tests.dir/test_cost_functions.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_cost_functions.cpp.o.d"
+  "/root/repo/tests/test_cost_spec.cpp" "tests/CMakeFiles/ccc_tests.dir/test_cost_spec.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_cost_spec.cpp.o.d"
+  "/root/repo/tests/test_exact_opt.cpp" "tests/CMakeFiles/ccc_tests.dir/test_exact_opt.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_exact_opt.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/ccc_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_fractional.cpp" "tests/CMakeFiles/ccc_tests.dir/test_fractional.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_fractional.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/ccc_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_headline_claims.cpp" "tests/CMakeFiles/ccc_tests.dir/test_headline_claims.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_headline_claims.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/ccc_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_landlord.cpp" "tests/CMakeFiles/ccc_tests.dir/test_landlord.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_landlord.cpp.o.d"
+  "/root/repo/tests/test_lower_bound.cpp" "tests/CMakeFiles/ccc_tests.dir/test_lower_bound.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/test_lru_k.cpp" "tests/CMakeFiles/ccc_tests.dir/test_lru_k.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_lru_k.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/ccc_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mrc.cpp" "tests/CMakeFiles/ccc_tests.dir/test_mrc.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_mrc.cpp.o.d"
+  "/root/repo/tests/test_multipool.cpp" "tests/CMakeFiles/ccc_tests.dir/test_multipool.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_multipool.cpp.o.d"
+  "/root/repo/tests/test_opt_bounds.cpp" "tests/CMakeFiles/ccc_tests.dir/test_opt_bounds.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_opt_bounds.cpp.o.d"
+  "/root/repo/tests/test_policies_basic.cpp" "tests/CMakeFiles/ccc_tests.dir/test_policies_basic.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_policies_basic.cpp.o.d"
+  "/root/repo/tests/test_policy_factory.cpp" "tests/CMakeFiles/ccc_tests.dir/test_policy_factory.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_policy_factory.cpp.o.d"
+  "/root/repo/tests/test_primal_dual.cpp" "tests/CMakeFiles/ccc_tests.dir/test_primal_dual.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_primal_dual.cpp.o.d"
+  "/root/repo/tests/test_randomized_marking.cpp" "tests/CMakeFiles/ccc_tests.dir/test_randomized_marking.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_randomized_marking.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ccc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/ccc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_static_partition.cpp" "tests/CMakeFiles/ccc_tests.dir/test_static_partition.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_static_partition.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ccc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_string_util.cpp" "tests/CMakeFiles/ccc_tests.dir/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/ccc_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_theory.cpp" "tests/CMakeFiles/ccc_tests.dir/test_theory.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_theory.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/ccc_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ccc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/ccc_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/ccc_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_two_q.cpp" "tests/CMakeFiles/ccc_tests.dir/test_two_q.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_two_q.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/ccc_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_weighted_belady.cpp" "tests/CMakeFiles/ccc_tests.dir/test_weighted_belady.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_weighted_belady.cpp.o.d"
+  "/root/repo/tests/test_window_accounting.cpp" "tests/CMakeFiles/ccc_tests.dir/test_window_accounting.cpp.o" "gcc" "tests/CMakeFiles/ccc_tests.dir/test_window_accounting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ccc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/ccc_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipool/CMakeFiles/ccc_multipool.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/ccc_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ccc_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ccc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
