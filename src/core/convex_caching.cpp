@@ -1,5 +1,7 @@
 #include "core/convex_caching.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace ccc {
@@ -13,6 +15,11 @@ double marginal_at(const CostFunction& f, std::uint64_t m,
   if (mode == DerivativeMode::kAnalytic) return f.derivative(x + 1.0);
   return f.value(x + 1.0) - f.value(x);
 }
+
+/// Dead postings tolerated per live page before the global heap compacts.
+constexpr std::size_t kCompactionFactor = 4;
+/// Heaps smaller than this never compact (rebuild overhead dominates).
+constexpr std::size_t kCompactionMinimum = 64;
 
 }  // namespace
 
@@ -28,10 +35,31 @@ void ConvexCachingPolicy::reset(const PolicyContext& ctx) {
   offset_ = 0.0;
   tenant_bump_.assign(ctx.num_tenants, 0.0);
   evictions_.assign(ctx.num_tenants, 0);
-  heaps_.assign(ctx.num_tenants, MinHeap{});
-  key_of_.clear();
-  tenant_of_.clear();
+  heaps_.assign(
+      options_.index == VictimIndex::kTenantScan ? ctx.num_tenants : 0,
+      MinHeap{});
+  global_ = GlobalHeap{};
+  pages_.clear();
+  tenant_pages_.clear();
+  track_tenant_pages_ = false;
   current_window_ = 0;
+  counters_ = PerfCounters{};
+}
+
+void ConvexCachingPolicy::rebuild_index() {
+  ++counters_.index_rebuilds;
+  if (options_.index == VictimIndex::kTenantScan) {
+    for (auto& heap : heaps_) heap = MinHeap{};
+    for (const auto& [page, state] : pages_)
+      heaps_[state.tenant].push(HeapEntry{state.key, page});
+    return;
+  }
+  std::vector<IndexEntry> entries;
+  entries.reserve(pages_.size());
+  for (const auto& [page, state] : pages_)
+    entries.push_back(IndexEntry{state.key + tenant_bump_[state.tenant],
+                                 state.key, page, state.tenant});
+  global_ = GlobalHeap(std::greater<IndexEntry>{}, std::move(entries));
 }
 
 void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
@@ -44,12 +72,11 @@ void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
   std::fill(evictions_.begin(), evictions_.end(), 0);
   std::fill(tenant_bump_.begin(), tenant_bump_.end(), 0.0);
   offset_ = 0.0;
-  for (auto& heap : heaps_) heap = MinHeap{};
-  for (const auto& [page, tenant] : tenant_of_) {
-    const double key = next_marginal(tenant);
-    key_of_[page] = key;
-    heaps_[tenant].push(HeapEntry{key, page});
+  for (auto& [page, state] : pages_) {
+    (void)page;
+    state.key = next_marginal(state.tenant);
   }
+  rebuild_index();
 }
 
 double ConvexCachingPolicy::next_marginal(TenantId tenant) const {
@@ -57,13 +84,29 @@ double ConvexCachingPolicy::next_marginal(TenantId tenant) const {
                      options_.derivative);
 }
 
+void ConvexCachingPolicy::push_global(PageId page, TenantId tenant,
+                                      double key) {
+  global_.push(IndexEntry{key + tenant_bump_[tenant], key, page, tenant});
+}
+
+void ConvexCachingPolicy::maybe_compact() {
+  if (global_.size() < kCompactionMinimum) return;
+  if (global_.size() <= kCompactionFactor * pages_.size()) return;
+  rebuild_index();
+}
+
 void ConvexCachingPolicy::set_budget(PageId page, TenantId tenant) {
-  // Freeze the budget against the current offsets; the old heap entry (if
+  // Freeze the budget against the current offsets; the old index entry (if
   // any) becomes stale and is skipped lazily.
   const double key = next_marginal(tenant) - tenant_bump_[tenant] + offset_;
-  key_of_[page] = key;
-  tenant_of_[page] = tenant;
-  heaps_[tenant].push(HeapEntry{key, page});
+  pages_[page] = PageState{key, tenant};
+  if (options_.index == VictimIndex::kTenantScan) {
+    heaps_[tenant].push(HeapEntry{key, page});
+    return;
+  }
+  push_global(page, tenant, key);
+  if (track_tenant_pages_) tenant_pages_[tenant].insert(page);
+  maybe_compact();
 }
 
 void ConvexCachingPolicy::on_hit(const Request& request, TimeStep time) {
@@ -76,24 +119,23 @@ bool ConvexCachingPolicy::clean_top(TenantId tenant, HeapEntry& top) {
   MinHeap& heap = heaps_[tenant];
   while (!heap.empty()) {
     const HeapEntry candidate = heap.top();
-    const auto it = key_of_.find(candidate.page);
-    if (it != key_of_.end() && tenant_of_.at(candidate.page) == tenant &&
-        it->second == candidate.key) {
+    const auto it = pages_.find(candidate.page);
+    if (it != pages_.end() && it->second.tenant == tenant &&
+        it->second.key == candidate.key) {
       top = candidate;
       return true;
     }
     heap.pop();  // stale: page evicted or budget re-set since
+    ++counters_.heap_pops;
+    ++counters_.stale_skips;
   }
   return false;
 }
 
-PageId ConvexCachingPolicy::choose_victim(const Request& /*request*/,
-                                          TimeStep time) {
-  maybe_roll_window(time);
-  // Fig. 3: the page with the smallest budget. The global debit offset
-  // shifts every effective budget equally, so only the per-tenant bumps
-  // differentiate tenants: victim = argmin over tenants of
-  // (clean heap top key + tenant bump), ties broken by page id.
+PageId ConvexCachingPolicy::choose_victim_scan() {
+  // The global debit offset shifts every effective budget equally, so only
+  // the per-tenant bumps differentiate tenants: victim = argmin over
+  // tenants of (clean heap top key + tenant bump), ties broken by page id.
   bool found = false;
   double best_eff = 0.0;
   PageId best_page = 0;
@@ -112,13 +154,70 @@ PageId ConvexCachingPolicy::choose_victim(const Request& /*request*/,
   return best_page;
 }
 
+PageId ConvexCachingPolicy::choose_victim_global() {
+  // Lazy-invalidation invariant: every resident page has at least one
+  // posting whose score is ≤ its current (key + bump) — postings go stale
+  // only by under-estimating (bumps of convex tenants only grow; shrinking
+  // bumps are repaired eagerly by repost_tenant). Popping in (score, page)
+  // order therefore surfaces the true minimum — with the paper's
+  // lowest-page-id tie-break — as the first posting that validates.
+  while (!global_.empty()) {
+    const IndexEntry top = global_.top();
+    const auto it = pages_.find(top.page);
+    if (it == pages_.end() || it->second.tenant != top.tenant ||
+        it->second.key != top.key) {
+      // Page evicted, or its budget was refreshed since: a newer posting
+      // covers it (or nothing needs to).
+      global_.pop();
+      ++counters_.heap_pops;
+      ++counters_.stale_skips;
+      continue;
+    }
+    const double score = top.key + tenant_bump_[top.tenant];
+    if (score != top.score) {
+      // The tenant was bumped since this posting: re-post at the current
+      // score and keep looking. Within one call bumps are constant, so
+      // each posting is re-pushed at most once — the loop terminates.
+      global_.pop();
+      ++counters_.heap_pops;
+      ++counters_.stale_skips;
+      push_global(top.page, top.tenant, top.key);
+      continue;
+    }
+    return top.page;
+  }
+  CCC_CHECK(false, "ConvexCaching asked for a victim with an empty cache");
+  return 0;  // unreachable
+}
+
+PageId ConvexCachingPolicy::choose_victim(const Request& /*request*/,
+                                          TimeStep time) {
+  maybe_roll_window(time);
+  ++counters_.evictions;
+  return options_.index == VictimIndex::kTenantScan ? choose_victim_scan()
+                                                    : choose_victim_global();
+}
+
+void ConvexCachingPolicy::repost_tenant(TenantId owner) {
+  if (!track_tenant_pages_) {
+    // First non-convex bump decrease of the run: materialize the registry.
+    tenant_pages_.assign(tenant_bump_.size(), {});
+    for (const auto& [page, state] : pages_)
+      tenant_pages_[state.tenant].insert(page);
+    track_tenant_pages_ = true;
+  }
+  for (const PageId page : tenant_pages_[owner])
+    push_global(page, owner, pages_.at(page).key);
+  maybe_compact();
+}
+
 void ConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
                                    TimeStep /*time*/) {
-  const auto it = key_of_.find(victim);
-  CCC_CHECK(it != key_of_.end(), "ConvexCaching evicting an untracked page");
-  const double victim_budget = effective(it->second, owner);
-  key_of_.erase(it);
-  tenant_of_.erase(victim);
+  const auto it = pages_.find(victim);
+  CCC_CHECK(it != pages_.end(), "ConvexCaching evicting an untracked page");
+  const double victim_budget = effective(it->second.key, owner);
+  pages_.erase(it);
+  if (track_tenant_pages_) tenant_pages_[owner].erase(victim);
 
   // Fig. 3: debit every surviving page by B(p) — one offset update.
   if (options_.debit_survivors) offset_ += victim_budget;
@@ -131,6 +230,11 @@ void ConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
     const double delta = marginal_at(f, m_before + 1, options_.derivative) -
                          marginal_at(f, m_before, options_.derivative);
     tenant_bump_[owner] += delta;
+    // Convex costs only grow the bump, which the global index absorbs
+    // lazily; a shrinking bump (§2.5 non-convex costs) makes existing
+    // postings over-estimate, so re-post the tenant's pages eagerly.
+    if (delta < 0.0 && options_.index == VictimIndex::kGlobalHeap)
+      repost_tenant(owner);
   }
 }
 
@@ -143,15 +247,16 @@ void ConvexCachingPolicy::on_insert(const Request& request, TimeStep time) {
 }
 
 double ConvexCachingPolicy::budget(PageId page) const {
-  const auto it = key_of_.find(page);
-  CCC_REQUIRE(it != key_of_.end(), "budget() of a non-resident page");
-  return effective(it->second, tenant_of_.at(page));
+  const auto it = pages_.find(page);
+  CCC_REQUIRE(it != pages_.end(), "budget() of a non-resident page");
+  return effective(it->second.key, it->second.tenant);
 }
 
 std::string ConvexCachingPolicy::name() const {
   std::string n = "ConvexCaching";
   if (options_.derivative == DerivativeMode::kDiscreteMarginal)
     n += "[discrete]";
+  if (options_.index == VictimIndex::kTenantScan) n += "[scan-index]";
   if (!options_.debit_survivors) n += "[no-debit]";
   if (!options_.bump_victim_tenant) n += "[no-bump]";
   if (options_.window_length > 0)

@@ -14,21 +14,41 @@
 /// eviction, and the budget of a page equals its Lagrangian residual. A
 /// property test asserts the eviction sequences coincide.
 ///
-/// This class is the production implementation: the "debit everyone" step
+/// This class is the production implementation. The "debit everyone" step
 /// is folded into a global offset (it cannot change the argmin) and the
-/// per-tenant bump into a per-tenant offset, so each operation is
-/// O(log k) amortized via per-tenant lazy min-heaps instead of the O(k)
-/// literal transcription (see NaiveConvexCachingPolicy, used as the test
-/// oracle).
+/// per-tenant bump into a per-tenant offset, so per-page keys are immutable
+/// between touches. Victim selection is served by one of two indexes:
+///
+///  - `VictimIndex::kGlobalHeap` (default): a single cross-tenant lazy
+///    min-heap over (key + tenant bump, page id). Per-tenant bumps
+///    invalidate that tenant's entries *lazily* — a popped entry whose
+///    stored score no longer matches `key + tenant_bump_[i]` is re-pushed
+///    at its current score — so every operation is amortized O(log k)
+///    regardless of the number of tenants. This is the Landlord-style
+///    credit-index layout (Young's on-line file caching) applied to the
+///    paper's budgets.
+///  - `VictimIndex::kTenantScan`: one lazy min-heap per tenant, scanned in
+///    full on each eviction — O(n_tenants) per miss. Kept as the second
+///    differential-testing implementation and as the benchmark baseline
+///    showing what the global index buys at high tenant counts.
+///
+/// Both indexes compute budgets with the identical floating-point
+/// expressions, so on integer-valued cost families their victim sequences
+/// match each other — and the literal Fig. 3 transcription
+/// (NaiveConvexCachingPolicy) — bit for bit.
 ///
 /// §2.5: with `DerivativeMode::kDiscreteMarginal` the analytic derivative
 /// is replaced by `f(m+1) − f(m)`, which supports arbitrary — non-convex,
 /// even discontinuous — cost functions (no guarantee, but a working
-/// algorithm; experiment E5).
+/// algorithm; experiment E5). Non-convex costs can *shrink* a tenant's
+/// bump; the global index then eagerly re-posts that tenant's pages (lazy
+/// invalidation is only sound for monotone growth), tracked by a page
+/// registry that is materialized on first need so convex runs pay nothing.
 
 #include <cstdint>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/policy.hpp"
@@ -41,9 +61,16 @@ enum class DerivativeMode {
   kDiscreteMarginal,  ///< f(m+1) − f(m), the §2.5 generalization
 };
 
+/// Which data structure answers "page with the smallest budget".
+enum class VictimIndex {
+  kGlobalHeap,  ///< cross-tenant lazy min-heap — amortized O(log k)
+  kTenantScan,  ///< per-tenant heaps + full scan — O(n_tenants) per evict
+};
+
 /// Ablation switches for experiment E5. Production defaults: all on.
 struct ConvexCachingOptions {
   DerivativeMode derivative = DerivativeMode::kAnalytic;
+  VictimIndex index = VictimIndex::kGlobalHeap;
   /// Fig. 3 step "B(p') ← B(p') − B(p)". Off ⇒ budgets never decay and the
   /// policy degenerates toward evict-lowest-marginal-tenant.
   bool debit_survivors = true;
@@ -67,6 +94,9 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   void on_evict(PageId victim, TenantId owner, TimeStep time) override;
   void on_insert(const Request& request, TimeStep time) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] PerfCounters perf_counters() const override {
+    return counters_;
+  }
 
   /// Effective budget of a resident page (test/diagnostic hook).
   [[nodiscard]] double budget(PageId page) const;
@@ -75,6 +105,11 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   [[nodiscard]] const std::vector<std::uint64_t>& tenant_evictions()
       const noexcept {
     return evictions_;
+  }
+
+  /// Live entry count of the global index (diagnostic; 0 in scan mode).
+  [[nodiscard]] std::size_t index_size() const noexcept {
+    return global_.size();
   }
 
  private:
@@ -90,6 +125,8 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
 
   void set_budget(PageId page, TenantId tenant);
 
+  // -- per-tenant index (VictimIndex::kTenantScan) --------------------------
+
   struct HeapEntry {
     double key;
     PageId page;
@@ -104,6 +141,46 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   /// Pops stale entries; returns false if the tenant has no resident page.
   [[nodiscard]] bool clean_top(TenantId tenant, HeapEntry& top);
 
+  [[nodiscard]] PageId choose_victim_scan();
+
+  // -- global index (VictimIndex::kGlobalHeap) ------------------------------
+
+  /// One posting in the cross-tenant index. `score` is the cross-tenant
+  /// comparison value `key + tenant_bump_[tenant]` frozen at push time
+  /// (the global `offset_` shifts every page equally and is left out);
+  /// `key` identifies which budget-setting this posting refers to, so a
+  /// page whose budget was refreshed since invalidates all its older
+  /// postings.
+  struct IndexEntry {
+    double score;
+    double key;
+    PageId page;
+    TenantId tenant;
+    friend bool operator>(const IndexEntry& a, const IndexEntry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.page > b.page;
+    }
+  };
+  using GlobalHeap = std::priority_queue<IndexEntry, std::vector<IndexEntry>,
+                                         std::greater<IndexEntry>>;
+
+  void push_global(PageId page, TenantId tenant, double key);
+
+  [[nodiscard]] PageId choose_victim_global();
+
+  /// Rebuilds the global heap from the resident set when dead postings
+  /// outnumber live pages by `kCompactionFactor` (hit-heavy streams refresh
+  /// budgets far more often than evictions drain postings).
+  void maybe_compact();
+
+  /// Rebuilds every index structure from the resident set `pages_`.
+  void rebuild_index();
+
+  /// Non-convex repair: tenant `owner`'s bump just *decreased*, so its
+  /// existing postings over-estimate; re-posts every resident page of that
+  /// tenant at the current score. Materializes `tenant_pages_` on first use.
+  void repost_tenant(TenantId owner);
+
   /// Windowed mode: on crossing a window boundary, resets miss counts and
   /// re-bases every resident budget (O(k), once per window).
   void maybe_roll_window(TimeStep time);
@@ -111,13 +188,24 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   ConvexCachingOptions options_;
   const std::vector<CostFunctionPtr>* costs_ = nullptr;
 
+  /// Frozen key + owner of a resident page (one hash lookup on hot paths).
+  struct PageState {
+    double key;
+    TenantId tenant;
+  };
+
   double offset_ = 0.0;                  ///< cumulative global debit
   std::vector<double> tenant_bump_;      ///< cumulative per-tenant bumps
   std::vector<std::uint64_t> evictions_; ///< m(i, t)
-  std::vector<MinHeap> heaps_;           ///< one lazy min-heap per tenant
-  std::unordered_map<PageId, double> key_of_;  ///< current key per page
-  std::unordered_map<PageId, TenantId> tenant_of_;
+  std::vector<MinHeap> heaps_;           ///< scan mode: one heap per tenant
+  GlobalHeap global_;                    ///< heap mode: one heap, all tenants
+  std::unordered_map<PageId, PageState> pages_;  ///< resident pages
+  /// Resident pages per tenant; only maintained once a bump has decreased
+  /// (possible only for non-convex costs), empty and untouched otherwise.
+  std::vector<std::unordered_set<PageId>> tenant_pages_;
+  bool track_tenant_pages_ = false;
   std::size_t current_window_ = 0;
+  PerfCounters counters_;
 };
 
 }  // namespace ccc

@@ -6,6 +6,21 @@
 
 namespace ccc {
 
+double PerfCounters::ns_per_request() const noexcept {
+  if (requests == 0) return 0.0;
+  return wall_seconds * 1e9 / static_cast<double>(requests);
+}
+
+double PerfCounters::seconds_per_million() const noexcept {
+  if (requests == 0) return 0.0;
+  return wall_seconds * 1e6 / static_cast<double>(requests);
+}
+
+double PerfCounters::stale_skips_per_eviction() const noexcept {
+  if (evictions == 0) return 0.0;
+  return static_cast<double>(stale_skips) / static_cast<double>(evictions);
+}
+
 Metrics::Metrics(std::uint32_t num_tenants)
     : hits_(num_tenants, 0), misses_(num_tenants, 0),
       evictions_(num_tenants, 0) {

@@ -17,6 +17,27 @@
 
 namespace ccc {
 
+/// Lightweight performance counters for one simulation run: how much work
+/// the policy's victim index did, and how fast the run was. Policies that
+/// maintain heaps report pops and lazy-invalidation skips; the simulator
+/// fills in requests, evictions and wall-clock time. All fields are plain
+/// counts so recording them costs one increment on the hot path.
+struct PerfCounters {
+  std::uint64_t requests = 0;        ///< requests processed
+  std::uint64_t evictions = 0;       ///< victims chosen (== index queries)
+  std::uint64_t heap_pops = 0;       ///< entries popped from index heaps
+  std::uint64_t stale_skips = 0;     ///< popped entries that were stale
+  std::uint64_t index_rebuilds = 0;  ///< full index rebuilds (window/compact)
+  double wall_seconds = 0.0;         ///< wall-clock time of the request loop
+
+  /// Nanoseconds of wall-clock per request (0 when nothing ran).
+  [[nodiscard]] double ns_per_request() const noexcept;
+  /// Wall-clock seconds per one million requests (0 when nothing ran).
+  [[nodiscard]] double seconds_per_million() const noexcept;
+  /// Average stale entries skipped per eviction — the price of laziness.
+  [[nodiscard]] double stale_skips_per_eviction() const noexcept;
+};
+
 class Metrics {
  public:
   explicit Metrics(std::uint32_t num_tenants);

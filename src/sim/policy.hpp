@@ -13,6 +13,7 @@
 
 #include "cost/cost_function.hpp"
 #include "sim/cache_state.hpp"
+#include "sim/metrics.hpp"
 #include "trace/trace.hpp"
 #include "trace/types.hpp"
 
@@ -77,6 +78,12 @@ class ReplacementPolicy {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Index-work counters accumulated since reset(). Policies with internal
+  /// heaps (ConvexCaching, Landlord, …) report pops/stale skips/rebuilds;
+  /// the default reports zeros. The simulator overlays requests, evictions
+  /// and wall-clock time on top of whatever the policy returns.
+  [[nodiscard]] virtual PerfCounters perf_counters() const { return {}; }
 };
 
 }  // namespace ccc

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 #include "util/check.hpp"
 
 namespace ccc {
@@ -56,6 +58,13 @@ StepEvent SimulatorSession::step(const Request& request) {
   return event;
 }
 
+PerfCounters SimulatorSession::perf_counters() const {
+  PerfCounters perf = policy_.perf_counters();
+  perf.requests = time_;
+  perf.evictions = metrics_.total_evictions();
+  return perf;
+}
+
 void SimulatorSession::invalidate(PageId page) {
   const TenantId owner = cache_.owner(page);
   cache_.erase(page);
@@ -70,13 +79,18 @@ SimResult run_trace(const Trace& trace, std::size_t capacity,
   SimulatorSession session(capacity, trace.num_tenants(), policy, costs,
                            options);
   policy.preview(trace);
-  SimResult result{Metrics(trace.num_tenants()), {}};
+  SimResult result{Metrics(trace.num_tenants()), {}, {}};
   if (options.record_events) result.events.reserve(trace.size());
+  const auto start = std::chrono::steady_clock::now();
   for (const Request& request : trace) {
     StepEvent event = session.step(request);
     if (options.record_events) result.events.push_back(std::move(event));
   }
+  const auto stop = std::chrono::steady_clock::now();
   result.metrics = session.metrics();
+  result.perf = session.perf_counters();
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
   return result;
 }
 

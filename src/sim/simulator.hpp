@@ -35,6 +35,9 @@ struct SimOptions {
 struct SimResult {
   Metrics metrics;
   std::vector<StepEvent> events;  ///< empty unless record_events
+  /// Victim-index work + wall-clock of the request loop (filled by
+  /// run_trace; zeros for hand-driven SimulatorSession use).
+  PerfCounters perf;
 };
 
 /// Step-wise simulation session. Use this directly when the request stream
@@ -60,6 +63,10 @@ class SimulatorSession {
   [[nodiscard]] const CacheState& cache() const noexcept { return cache_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] TimeStep now() const noexcept { return time_; }
+
+  /// Policy index counters overlaid with this session's request/eviction
+  /// totals. Wall-clock stays zero — the caller owns the request loop.
+  [[nodiscard]] PerfCounters perf_counters() const;
 
  private:
   CacheState cache_;
