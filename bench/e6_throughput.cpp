@@ -34,6 +34,10 @@
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
+#ifdef CCC_AUDIT_ENABLED
+#include "audit/audit.hpp"
+#endif
+
 namespace ccc {
 namespace {
 
@@ -81,12 +85,11 @@ struct BenchRow {
   std::size_t capacity = 0;
   bool skipped = false;
   std::string skip_reason;
+  bool audited = false;       // run with the CCC_AUDIT shadow checks on
   PerfCounters perf;          // best (min wall-clock) repeat
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
 };
-
-std::string json_escape_free(const std::string& s) { return s; }
 
 void write_json(const std::string& path, const Cli& cli,
                 const std::vector<BenchRow>& rows) {
@@ -102,20 +105,20 @@ void write_json(const std::string& path, const Cli& cli,
   os << "    \"skew\": " << cli.get_double("skew") << ",\n";
   os << "    \"seed\": " << cli.get_u64("seed") << ",\n";
   os << "    \"repeats\": " << cli.get_u64("repeats") << ",\n";
-  os << "    \"tenants\": \"" << json_escape_free(cli.get("tenants"))
-     << "\",\n";
-  os << "    \"policies\": \"" << json_escape_free(cli.get("policies"))
-     << "\",\n";
-  os << "    \"costs\": \"" << json_escape_free(cli.get("costs")) << "\"\n";
+  os << "    \"tenants\": \"" << json_escape(cli.get("tenants")) << "\",\n";
+  os << "    \"policies\": \"" << json_escape(cli.get("policies")) << "\",\n";
+  os << "    \"costs\": \"" << json_escape(cli.get("costs")) << "\"\n";
   os << "  },\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
-    os << "    {\"policy\": \"" << r.policy << "\", \"cost\": \""
-       << r.cost_family << "\", \"tenants\": " << r.tenants
-       << ", \"capacity\": " << r.capacity;
+    os << "    {\"policy\": \"" << json_escape(r.policy) << "\", \"cost\": \""
+       << json_escape(r.cost_family) << "\", \"tenants\": " << r.tenants
+       << ", \"capacity\": " << r.capacity
+       << ", \"audit\": " << (r.audited ? "true" : "false");
     if (r.skipped) {
-      os << ", \"skipped\": true, \"reason\": \"" << r.skip_reason << "\"}";
+      os << ", \"skipped\": true, \"reason\": \"" << json_escape(r.skip_reason)
+         << "\"}";
     } else {
       os << ", \"skipped\": false"
          << ", \"requests\": " << r.perf.requests
@@ -140,6 +143,47 @@ void write_json(const std::string& path, const Cli& cli,
   std::cout << "wrote " << path << "\n";
 }
 
+/// Measures one cell: `repeats` runs of `policy_name` over `trace`, keeping
+/// the min-wall-clock repeat. With `audit` true the runs carry a
+/// ConvexCachingAuditor (cadence `audit_cadence`); any reported violation
+/// aborts the benchmark — an audited number from a broken run is worthless.
+void measure(BenchRow& row, const Trace& trace, std::size_t capacity,
+             const std::vector<CostFunctionPtr>& costs,
+             const std::string& policy_name, std::uint64_t repeats,
+             bool audit, std::uint64_t audit_cadence) {
+  const auto policy = make_policy(policy_name);
+  SimOptions options;
+#ifdef CCC_AUDIT_ENABLED
+  AuditConfig audit_config;
+  audit_config.step_cadence = audit_cadence;
+  audit_config.eviction_cadence = audit_cadence;
+  ConvexCachingAuditor auditor(audit_config);
+  if (audit) options.auditor = &auditor;
+#else
+  (void)audit_cadence;
+  if (audit)
+    throw std::runtime_error(
+        "--audit requires a binary built with -DCCC_AUDIT=ON");
+#endif
+  row.audited = audit;
+  bool first = true;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const SimResult result = run_trace(trace, capacity, *policy, &costs,
+                                       options);
+#ifdef CCC_AUDIT_ENABLED
+    if (audit && !auditor.report().ok())
+      throw std::runtime_error("audit violations in benchmarked run: " +
+                               auditor.report().summary());
+#endif
+    if (first || result.perf.wall_seconds < row.perf.wall_seconds) {
+      row.perf = result.perf;
+      row.hits = result.metrics.total_hits();
+      row.misses = result.metrics.total_misses();
+      first = false;
+    }
+  }
+}
+
 int run(int argc, const char* const* argv) {
   Cli cli(
       "E6 — request throughput of online policies across tenant counts, "
@@ -159,6 +203,11 @@ int run(int argc, const char* const* argv) {
             "skip convex-scan above this tenant count")
       .flag("max-naive-tenants", "64",
             "skip convex-naive above this tenant count")
+      .flag("audit", "0",
+            "1 = add an audited twin row per convex/convex-scan cell "
+            "(requires a CCC_AUDIT build); measures the audit overhead")
+      .flag("audit-cadence", "64",
+            "audited rows: run the shadow checks every Nth request/eviction")
       .flag("json", "BENCH_throughput.json",
             "output JSON path (empty = no JSON)");
   if (!cli.parse(argc, argv)) return 0;
@@ -174,6 +223,14 @@ int run(int argc, const char* const* argv) {
                                                         cli.get_u64("repeats"));
   const std::uint64_t max_scan = cli.get_u64("max-scan-tenants");
   const std::uint64_t max_naive = cli.get_u64("max-naive-tenants");
+  const bool audit = cli.get_bool("audit");
+  const std::uint64_t audit_cadence =
+      std::max<std::uint64_t>(1, cli.get_u64("audit-cadence"));
+#ifndef CCC_AUDIT_ENABLED
+  if (audit)
+    throw std::runtime_error(
+        "--audit requires a binary built with -DCCC_AUDIT=ON");
+#endif
 
   std::vector<BenchRow> rows;
   Table table({"policy", "cost", "tenants", "capacity", "ns/req", "Mreq/s",
@@ -208,29 +265,33 @@ int run(int argc, const char* const* argv) {
           continue;
         }
 
-        const auto policy = make_policy(policy_name);
-        bool first = true;
-        for (std::uint64_t r = 0; r < repeats; ++r) {
-          const SimResult result =
-              run_trace(trace, capacity, *policy, &costs);
-          if (first || result.perf.wall_seconds < row.perf.wall_seconds) {
-            row.perf = result.perf;
-            row.hits = result.metrics.total_hits();
-            row.misses = result.metrics.total_misses();
-            first = false;
-          }
+        // Unaudited cell, plus — with --audit and an audit-capable policy —
+        // an audited twin, so the JSON carries overhead pairs.
+        const bool audit_capable =
+            policy_name == "convex" || policy_name == "convex-scan";
+        for (const bool audited : {false, true}) {
+          if (audited && !(audit && audit_capable)) continue;
+          BenchRow cell = row;
+          measure(cell, trace, capacity, costs, policy_name, repeats, audited,
+                  audit_cadence);
+          const std::uint64_t accesses = cell.hits + cell.misses;
+          const double hit_pct =
+              accesses == 0 ? 0.0
+                            : 100.0 * static_cast<double>(cell.hits) /
+                                  static_cast<double>(accesses);
+          const std::string label =
+              policy_name + (audited ? "+audit" : "");
+          table.add(label, family, tenants, capacity,
+                    cell.perf.ns_per_request(),
+                    cell.perf.wall_seconds > 0.0
+                        ? static_cast<double>(cell.perf.requests) /
+                              (cell.perf.wall_seconds * 1e6)
+                        : 0.0,
+                    hit_pct, cell.perf.stale_skips_per_eviction());
+          std::cout << label << " n=" << tenants << " cost=" << family
+                    << ": " << cell.perf.ns_per_request() << " ns/req\n";
+          rows.push_back(std::move(cell));
         }
-        const double hit_pct =
-            100.0 * static_cast<double>(row.hits) /
-            static_cast<double>(row.hits + row.misses);
-        table.add(policy_name, family, tenants, capacity,
-                  row.perf.ns_per_request(),
-                  static_cast<double>(row.perf.requests) /
-                      (row.perf.wall_seconds * 1e6),
-                  hit_pct, row.perf.stale_skips_per_eviction());
-        std::cout << policy_name << " n=" << tenants << " cost=" << family
-                  << ": " << row.perf.ns_per_request() << " ns/req\n";
-        rows.push_back(std::move(row));
       }
     }
   }

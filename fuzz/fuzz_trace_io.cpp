@@ -1,0 +1,93 @@
+/// \file fuzz_trace_io.cpp
+/// \brief Fuzz harness for the trace loaders (text + binary).
+///
+/// The loaders' documented contract is: any malformed input — framing or
+/// content — throws `std::runtime_error`, nothing else. The harness feeds
+/// arbitrary bytes to both loaders and treats any *other* escaping
+/// exception (or a crash/sanitizer report) as a finding. This is exactly
+/// the bug class the loaders shipped with: out-of-range tenant ids and
+/// non-disjoint page sets used to leak `std::invalid_argument` from the
+/// Trace constructor.
+///
+/// Build modes (see fuzz/CMakeLists.txt, gated behind CCC_FUZZ):
+///  - Clang: a real libFuzzer binary (`-fsanitize=fuzzer`, the
+///    `CCC_FUZZ_LIBFUZZER` define suppresses the standalone main).
+///  - Any other compiler: a standalone corpus runner whose main() replays
+///    the files/directories given on the command line — enough for the
+///    ctest smoke test and for reproducing a crashing input under gdb.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream is(bytes);
+    try {
+      (void)ccc::load_trace(is);
+    } catch (const std::runtime_error&) {
+      // Documented rejection of malformed input.
+    }
+  }
+  {
+    std::istringstream is(bytes);
+    try {
+      (void)ccc::load_trace_binary(is);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  return 0;
+}
+
+#ifndef CCC_FUZZ_LIBFUZZER
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "fuzz_trace_io: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  std::cout << "ok " << path.string() << " (" << bytes.size() << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fuzz_trace_io <corpus file or directory>...\n";
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path))
+        if (entry.is_regular_file()) rc |= replay_file(entry.path());
+    } else {
+      rc |= replay_file(path);
+    }
+  }
+  return rc;
+}
+
+#endif  // CCC_FUZZ_LIBFUZZER

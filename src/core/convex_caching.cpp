@@ -16,11 +16,6 @@ double marginal_at(const CostFunction& f, std::uint64_t m,
   return f.value(x + 1.0) - f.value(x);
 }
 
-/// Dead postings tolerated per live page before the global heap compacts.
-constexpr std::size_t kCompactionFactor = 4;
-/// Heaps smaller than this never compact (rebuild overhead dominates).
-constexpr std::size_t kCompactionMinimum = 64;
-
 }  // namespace
 
 ConvexCachingPolicy::ConvexCachingPolicy(ConvexCachingOptions options)

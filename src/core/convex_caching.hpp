@@ -85,6 +85,11 @@ struct ConvexCachingOptions {
 
 class ConvexCachingPolicy final : public ReplacementPolicy {
  public:
+  /// Dead postings tolerated per live page before the global heap compacts.
+  static constexpr std::size_t kCompactionFactor = 4;
+  /// Heaps smaller than this never compact (rebuild overhead dominates).
+  static constexpr std::size_t kCompactionMinimum = 64;
+
   explicit ConvexCachingPolicy(ConvexCachingOptions options = {});
 
   void reset(const PolicyContext& ctx) override;
@@ -112,7 +117,17 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
     return global_.size();
   }
 
+  /// The run configuration (audit layer + diagnostics).
+  [[nodiscard]] const ConvexCachingOptions& options() const noexcept {
+    return options_;
+  }
+
  private:
+  /// The `src/audit` shadow-checker reads the index internals (postings,
+  /// offsets, bumps) to verify them against naive recomputation; the test
+  /// peer additionally *corrupts* them to prove each audit fires.
+  friend class ConvexCachingAuditor;
+  friend struct AuditTestPeer;
   /// Marginal cost of tenant i's next miss given its current eviction count.
   [[nodiscard]] double next_marginal(TenantId tenant) const;
 

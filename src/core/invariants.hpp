@@ -21,7 +21,9 @@
 
 namespace ccc {
 
-struct InvariantReport {
+/// Ignoring a report would silently discard detected invariant violations,
+/// hence [[nodiscard]] on the type itself.
+struct [[nodiscard]] InvariantReport {
   bool primal_feasible = true;         // (1a)
   bool duals_nonnegative = true;       // (1c)
   bool slackness_z = true;             // (2a)

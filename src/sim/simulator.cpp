@@ -11,10 +11,16 @@ SimulatorSession::SimulatorSession(std::size_t capacity,
                                    ReplacementPolicy& policy,
                                    const std::vector<CostFunctionPtr>* costs,
                                    SimOptions options)
-    : cache_(capacity), metrics_(num_tenants), policy_(policy) {
+    : cache_(capacity), metrics_(num_tenants), policy_(policy),
+      auditor_(options.auditor) {
   if (costs != nullptr)
     CCC_REQUIRE(costs->size() >= num_tenants,
                 "need one cost function per tenant");
+#ifndef CCC_AUDIT_ENABLED
+  CCC_REQUIRE(auditor_ == nullptr,
+              "SimOptions.auditor needs a build with -DCCC_AUDIT=ON "
+              "(audit hooks are compiled out of this binary)");
+#endif
   PolicyContext ctx;
   ctx.capacity = capacity;
   ctx.num_tenants = num_tenants;
@@ -22,6 +28,9 @@ SimulatorSession::SimulatorSession(std::size_t capacity,
   ctx.cache = &cache_;
   ctx.seed = options.seed;
   policy_.reset(ctx);
+#ifdef CCC_AUDIT_ENABLED
+  if (auditor_ != nullptr) auditor_->on_reset(ctx);
+#endif
 }
 
 StepEvent SimulatorSession::step(const Request& request) {
@@ -44,6 +53,10 @@ StepEvent SimulatorSession::step(const Request& request) {
     if (victim.has_value()) {
       CCC_CHECK(cache_.contains(*victim),
                 "policy chose a non-resident victim");
+#ifdef CCC_AUDIT_ENABLED
+      if (auditor_ != nullptr)
+        auditor_->on_victim_chosen(request, *victim, cache_, policy_, time_);
+#endif
       const TenantId victim_owner = cache_.owner(*victim);
       cache_.erase(*victim);
       metrics_.record_eviction(victim_owner);
@@ -54,8 +67,17 @@ StepEvent SimulatorSession::step(const Request& request) {
     cache_.insert(request.page, request.tenant);
     policy_.on_insert(request, time_);
   }
+#ifdef CCC_AUDIT_ENABLED
+  if (auditor_ != nullptr) auditor_->on_step(event, cache_, policy_, time_);
+#endif
   ++time_;
   return event;
+}
+
+void SimulatorSession::end_run() {
+#ifdef CCC_AUDIT_ENABLED
+  if (auditor_ != nullptr) auditor_->on_run_end(cache_, policy_);
+#endif
 }
 
 PerfCounters SimulatorSession::perf_counters() const {
@@ -87,6 +109,7 @@ SimResult run_trace(const Trace& trace, std::size_t capacity,
     if (options.record_events) result.events.push_back(std::move(event));
   }
   const auto stop = std::chrono::steady_clock::now();
+  session.end_run();
   result.metrics = session.metrics();
   result.perf = session.perf_counters();
   result.perf.wall_seconds =

@@ -25,11 +25,43 @@ struct StepEvent {
   std::optional<TenantId> victim_owner;
 };
 
+/// Runtime-verification hook observed by the simulator (the `src/audit`
+/// subsystem implements it). Hook invocations are compiled behind the
+/// `CCC_AUDIT` CMake option — on in Debug, off in Release — so an audited
+/// build shadow-checks the algorithm's invariants while it runs and a
+/// release build pays nothing. Attaching an auditor to a session built
+/// without `CCC_AUDIT` throws, so audits can never be silently dropped.
+class PolicyAuditor {
+ public:
+  virtual ~PolicyAuditor() = default;
+
+  /// The session was (re)initialized; `ctx` is what the policy saw.
+  virtual void on_reset(const PolicyContext& ctx) = 0;
+
+  /// `choose_victim`/`quota_victim` returned `victim`, which is still
+  /// resident — budgets can be inspected before the eviction is applied.
+  virtual void on_victim_chosen(const Request& request, PageId victim,
+                                const CacheState& cache,
+                                ReplacementPolicy& policy, TimeStep time) = 0;
+
+  /// One request has been fully processed.
+  virtual void on_step(const StepEvent& event, const CacheState& cache,
+                       ReplacementPolicy& policy, TimeStep time) = 0;
+
+  /// The request loop is over (run_trace calls this; hand-driven sessions
+  /// call SimulatorSession::end_run()).
+  virtual void on_run_end(const CacheState& cache,
+                          ReplacementPolicy& policy) = 0;
+};
+
 struct SimOptions {
   /// Record a StepEvent per request (needed by the invariant checker and
   /// the ICP evaluator; costs memory on long traces).
   bool record_events = false;
   std::uint64_t seed = 1;
+  /// Optional runtime-verification hook; requires a `CCC_AUDIT=ON` build
+  /// (the session constructor throws otherwise).
+  PolicyAuditor* auditor = nullptr;
 };
 
 struct SimResult {
@@ -55,6 +87,11 @@ class SimulatorSession {
   /// Processes one request and returns what happened.
   StepEvent step(const Request& request);
 
+  /// Signals the attached auditor (if any) that the request loop is over,
+  /// triggering its end-of-run checks. run_trace() calls this; hand-driven
+  /// sessions call it once after their last step. No-op without an auditor.
+  void end_run();
+
   /// Forcibly removes a resident page outside the normal request path
   /// (e.g. a multipool tenant migration); the policy observes it as an
   /// eviction. Throws if the page is not resident.
@@ -72,6 +109,7 @@ class SimulatorSession {
   CacheState cache_;
   Metrics metrics_;
   ReplacementPolicy& policy_;
+  PolicyAuditor* auditor_ = nullptr;
   TimeStep time_ = 0;
 };
 

@@ -9,6 +9,32 @@
 
 namespace ccc {
 
+namespace {
+
+/// Loader-side validation. Trace's own constructor/append reject bad data
+/// with std::invalid_argument (API misuse), but from a loader the same
+/// conditions are malformed *input* and belong to the documented
+/// std::runtime_error contract — a zero-tenant header, an out-of-range
+/// tenant id, or a page claimed by two tenants must all surface the same
+/// way as a truncated stream.
+Trace checked_trace(std::uint32_t num_tenants) {
+  if (num_tenants == 0)
+    throw std::runtime_error("trace header declares zero tenants");
+  return Trace(num_tenants);
+}
+
+void checked_append(Trace& trace, TenantId tenant, PageId page,
+                    std::uint64_t index) {
+  try {
+    trace.append(tenant, page);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("invalid request " + std::to_string(index) +
+                             ": " + e.what());
+  }
+}
+
+}  // namespace
+
 void save_trace(std::ostream& os, const Trace& trace) {
   os << "ccc-trace 1\n"
      << trace.num_tenants() << ' ' << trace.size() << '\n';
@@ -31,14 +57,14 @@ Trace load_trace(std::istream& is) {
   std::size_t num_requests = 0;
   if (!(is >> num_tenants >> num_requests))
     throw std::runtime_error("malformed trace header");
-  Trace trace(num_tenants);
+  Trace trace = checked_trace(num_tenants);
   for (std::size_t i = 0; i < num_requests; ++i) {
     TenantId tenant = 0;
     PageId page = 0;
     if (!(is >> tenant >> page))
       throw std::runtime_error("truncated trace body at request " +
                                std::to_string(i));
-    trace.append(tenant, page);
+    checked_append(trace, tenant, page, i);
   }
   return trace;
 }
@@ -100,11 +126,11 @@ Trace load_trace_binary(std::istream& is) {
     throw std::runtime_error("unsupported binary trace version");
   const auto num_tenants = read_le<std::uint32_t>(is);
   const auto num_requests = read_le<std::uint64_t>(is);
-  Trace trace(num_tenants);
+  Trace trace = checked_trace(num_tenants);
   for (std::uint64_t i = 0; i < num_requests; ++i) {
     const auto tenant = read_le<TenantId>(is);
     const auto page = read_le<PageId>(is);
-    trace.append(tenant, page);
+    checked_append(trace, tenant, page, i);
   }
   return trace;
 }

@@ -32,4 +32,8 @@ namespace ccc {
 /// small ones keep significant digits.
 [[nodiscard]] std::string format_compact(double v);
 
+/// Escapes `s` for embedding inside a JSON string literal: backslash,
+/// double quote and control characters (RFC 8259 §7).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 }  // namespace ccc

@@ -68,5 +68,21 @@ TEST(FormatCompact, FractionsKeepDigits) {
   EXPECT_EQ(format_compact(1.25), "1.2500");
 }
 
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("convex,convex-scan,lru"), "convex,convex-scan,lru");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+}
+
 }  // namespace
 }  // namespace ccc

@@ -55,6 +55,70 @@ TEST(TraceIo, RejectsMissingFile) {
                std::runtime_error);
 }
 
+// Malformed *content* (not just malformed framing) must honor the loaders'
+// documented std::runtime_error contract — Trace's own std::invalid_argument
+// (API misuse) must not leak through. Note invalid_argument is not a
+// runtime_error, so these EXPECT_THROWs fail if the wrong type escapes.
+
+TEST(TraceIo, RejectsZeroTenantHeader) {
+  std::stringstream buffer("ccc-trace 1\n0 0\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfRangeTenant) {
+  std::stringstream buffer("ccc-trace 1\n2 1\n5 7\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsPageClaimedByTwoTenants) {
+  std::stringstream buffer("ccc-trace 1\n2 2\n0 7\n1 7\n");
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoBinary, StreamRoundTrip) {
+  Rng rng(11);
+  const Trace original = random_uniform_trace(3, 5, 200, rng);
+  std::stringstream buffer;
+  save_trace_binary(buffer, original);
+  const Trace loaded = load_trace_binary(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.num_tenants(), original.num_tenants());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(TraceIoBinary, RejectsZeroTenantHeader) {
+  std::stringstream buffer;
+  save_trace_binary(buffer, Trace(1));
+  std::string bytes = buffer.str();
+  // Header layout: magic (4) + version (4) + num_tenants (4) + count (8).
+  bytes[8] = '\0';
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)load_trace_binary(corrupted), std::runtime_error);
+}
+
+TEST(TraceIoBinary, RejectsOutOfRangeTenant) {
+  Trace trace(2);
+  trace.append(0, 7);
+  std::stringstream buffer;
+  save_trace_binary(buffer, trace);
+  std::string bytes = buffer.str();
+  // First request's tenant field starts right after the 20-byte header.
+  bytes[20] = '\x09';
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)load_trace_binary(corrupted), std::runtime_error);
+}
+
+TEST(TraceIoBinary, RejectsTruncatedBody) {
+  Trace trace(1);
+  trace.append(0, 1);
+  trace.append(0, 2);
+  std::stringstream buffer;
+  save_trace_binary(buffer, trace);
+  std::stringstream truncated(buffer.str().substr(0, 24));
+  EXPECT_THROW((void)load_trace_binary(truncated), std::runtime_error);
+}
+
 TEST(TraceIo, EmptyTraceRoundTrips) {
   const Trace empty(4);
   std::stringstream buffer;
