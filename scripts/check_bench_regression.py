@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI throughput regression gate for the e6 benchmark JSON.
+
+Compares the requests_per_second of each (policy, cost, tenants) cell in a
+fresh BENCH_throughput.json against the committed baseline and fails when
+any cell drops by more than the tolerance (default 25%, see
+bench/baselines/README.md for why the bar is that wide on shared runners).
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_throughput.baseline.json \
+                            --current BENCH_throughput.json [--tolerance 0.25]
+
+Exit status: 0 = within tolerance, 1 = regression or missing cells,
+2 = bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (row["policy"], row["cost"], row["tenants"])
+
+
+def comparable_rows(doc):
+    """Measured, unaudited cells only — audit twins and skips aren't perf."""
+    rows = {}
+    for row in doc.get("results", []):
+        if row.get("skipped") or row.get("audit"):
+            continue
+        if "requests_per_second" not in row:
+            continue
+        rows[row_key(row)] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional throughput drop (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = comparable_rows(json.load(f))
+        with open(args.current) as f:
+            current = comparable_rows(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read input: {e}", file=sys.stderr)
+        return 2
+
+    if not baseline:
+        print("check_bench_regression: baseline has no comparable rows",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'cell':<44} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for key, base_row in sorted(baseline.items()):
+        label = f"{key[0]}/{key[1]}/n={key[2]}"
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"{label}: cell missing from current run")
+            print(f"{label:<44} {base_row['requests_per_second']:>12.0f} "
+                  f"{'MISSING':>12} {'-':>7}")
+            continue
+        base_rps = base_row["requests_per_second"]
+        cur_rps = cur_row["requests_per_second"]
+        ratio = cur_rps / base_rps if base_rps > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{label}: {cur_rps:.0f} req/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline {base_rps:.0f}"
+            )
+            flag = "  << REGRESSION"
+        print(f"{label:<44} {base_rps:>12.0f} {cur_rps:>12.0f} "
+              f"{ratio:>7.2f}{flag}")
+
+    if failures:
+        print(f"\nthroughput regression gate FAILED "
+              f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nthroughput regression gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,10 @@ double marginal_at(const CostFunction& f, std::uint64_t m,
 
 }  // namespace
 
+PolicyFactory make_convex_factory(ConvexCachingOptions options) {
+  return [options] { return std::make_unique<ConvexCachingPolicy>(options); };
+}
+
 ConvexCachingPolicy::ConvexCachingPolicy(ConvexCachingOptions options)
     : options_(options) {}
 

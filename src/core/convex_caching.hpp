@@ -83,6 +83,13 @@ struct ConvexCachingOptions {
   std::size_t window_length = 0;
 };
 
+/// Factory producing independent ConvexCachingPolicy instances with the
+/// given configuration — the public per-shard/per-pool instantiation path
+/// (the sharded frontend spawns one ALG-DISCRETE per shard through this,
+/// with no access to policy internals).
+[[nodiscard]] PolicyFactory make_convex_factory(
+    ConvexCachingOptions options = {});
+
 class ConvexCachingPolicy final : public ReplacementPolicy {
  public:
   /// Dead postings tolerated per live page before the global heap compacts.

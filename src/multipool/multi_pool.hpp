@@ -20,9 +20,6 @@
 
 namespace ccc {
 
-using PolicyFactory =
-    std::function<std::unique_ptr<ReplacementPolicy>()>;
-
 struct MultiPoolOptions {
   std::vector<std::size_t> pool_capacities;  ///< one entry per pool
   double switching_cost = 0.0;   ///< charged per migration

@@ -1,0 +1,242 @@
+#include "shard/sharded_cache.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/convex_caching.hpp"
+#include "util/check.hpp"
+
+namespace ccc {
+
+namespace {
+
+/// SplitMix64 finalizer. PageIds carry the owning tenant in their high bits
+/// (types.hpp), so an unmixed `page % S` would correlate shard choice with
+/// the tenant-local index; full avalanche decorrelates both.
+std::uint64_t mix_page(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<std::size_t> even_split(std::size_t total, std::size_t shards) {
+  CCC_REQUIRE(shards > 0, "need at least one shard");
+  CCC_REQUIRE(total >= shards, "need at least one page of capacity per shard");
+  std::vector<std::size_t> split(shards, total / shards);
+  for (std::size_t s = 0; s < total % shards; ++s) ++split[s];
+  return split;
+}
+
+std::vector<std::size_t> miss_rate_split(
+    std::size_t total, const std::vector<std::uint64_t>& misses,
+    std::size_t min_per_shard) {
+  const std::size_t shards = misses.size();
+  CCC_REQUIRE(shards > 0, "need at least one shard");
+  CCC_REQUIRE(min_per_shard >= 1, "shard capacities must stay positive");
+  CCC_REQUIRE(total >= shards * min_per_shard,
+              "total capacity below the per-shard floor");
+
+  // Weight = observed misses + 1 (smoothing: an idle shard keeps a claim).
+  double weight_sum = 0.0;
+  for (const std::uint64_t m : misses)
+    weight_sum += static_cast<double>(m) + 1.0;
+
+  std::vector<std::size_t> split(shards, min_per_shard);
+  std::size_t remaining = total - shards * min_per_shard;
+  const std::size_t distributable = remaining;
+  for (std::size_t s = 0; s < shards && remaining > 0; ++s) {
+    const double w = (static_cast<double>(misses[s]) + 1.0) / weight_sum;
+    const auto give = std::min(
+        remaining,
+        static_cast<std::size_t>(w * static_cast<double>(distributable)));
+    split[s] += give;
+    remaining -= give;
+  }
+  // Rounding leftovers go to the heaviest missers first.
+  std::vector<std::size_t> order(shards);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&misses](std::size_t a, std::size_t b) {
+                     return misses[a] > misses[b];
+                   });
+  for (std::size_t i = 0; remaining > 0; i = (i + 1) % shards) {
+    ++split[order[i]];
+    --remaining;
+  }
+  return split;
+}
+
+ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
+                           const std::vector<CostFunctionPtr>* costs)
+    : options_(options), costs_(costs) {
+  CCC_REQUIRE(options_.num_shards > 0, "need at least one shard");
+  CCC_REQUIRE(options_.num_tenants > 0, "need at least one tenant");
+  CCC_REQUIRE(options_.capacity >= options_.num_shards,
+              "need at least one page of capacity per shard");
+  CCC_REQUIRE(options_.min_shard_capacity >= 1,
+              "shard capacities must stay positive");
+  if (factory == nullptr) factory = make_convex_factory();
+
+  const std::vector<std::size_t> split =
+      even_split(options_.capacity, options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = factory();
+    CCC_CHECK(shard->policy != nullptr, "policy factory returned null");
+    SimOptions sim_options;
+    sim_options.seed = options_.seed + s;
+    shard->session = std::make_unique<SimulatorSession>(
+        split[s], options_.num_tenants, *shard->policy, costs_, sim_options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardedCache::shard_of(PageId page) const noexcept {
+  return static_cast<std::size_t>(mix_page(page) % shards_.size());
+}
+
+StepEvent ShardedCache::access(const Request& request) {
+  Shard& shard = *shards_[shard_of(request.page)];
+  const std::lock_guard lock(shard.mutex);
+  return shard.session->step(request);
+}
+
+void ShardedCache::access_batch(std::span<const Request> batch) {
+  if (shards_.size() == 1) {
+    Shard& shard = *shards_[0];
+    const std::lock_guard lock(shard.mutex);
+    for (const Request& request : batch) (void)shard.session->step(request);
+    return;
+  }
+  // Group by shard without reordering within a group: bucket the request
+  // indices, then drain bucket by bucket under one lock each.
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    groups[shard_of(batch[i].page)].push_back(i);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::lock_guard lock(shard.mutex);
+    for (const std::size_t i : groups[s]) (void)shard.session->step(batch[i]);
+  }
+}
+
+void ShardedCache::access_batch(std::span<const Request> batch,
+                                std::vector<StepEvent>& events) {
+  events.reserve(events.size() + batch.size());
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    groups[shard_of(batch[i].page)].push_back(i);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::lock_guard lock(shard.mutex);
+    for (const std::size_t i : groups[s])
+      events.push_back(shard.session->step(batch[i]));
+  }
+}
+
+Metrics ShardedCache::aggregated_metrics() const {
+  Metrics total(options_.num_tenants);
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    total.merge(shard->session->metrics());
+  }
+  return total;
+}
+
+PerfCounters ShardedCache::aggregated_perf() const {
+  PerfCounters total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    const PerfCounters perf = shard->session->perf_counters();
+    total.requests += perf.requests;
+    total.evictions += perf.evictions;
+    total.heap_pops += perf.heap_pops;
+    total.stale_skips += perf.stale_skips;
+    total.index_rebuilds += perf.index_rebuilds;
+  }
+  return total;
+}
+
+double ShardedCache::global_miss_cost() const {
+  CCC_REQUIRE(costs_ != nullptr,
+              "global_miss_cost needs per-tenant cost functions");
+  std::vector<std::uint64_t> misses(options_.num_tenants, 0);
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    const Metrics& m = shard->session->metrics();
+    for (TenantId t = 0; t < options_.num_tenants; ++t)
+      misses[t] += m.misses(t);
+  }
+  return total_cost(misses, *costs_);
+}
+
+std::vector<ShardStats> ShardedCache::shard_stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    const Metrics& m = shard->session->metrics();
+    ShardStats s;
+    s.capacity = shard->session->cache().capacity();
+    s.resident = shard->session->cache().size();
+    s.hits = m.total_hits();
+    s.misses = m.total_misses();
+    s.evictions = m.total_evictions();
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+std::vector<std::size_t> ShardedCache::capacities() const {
+  std::vector<std::size_t> caps;
+  caps.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    caps.push_back(shard->session->cache().capacity());
+  }
+  return caps;
+}
+
+void ShardedCache::set_rebalance_hook(RebalanceHook hook) {
+  rebalance_hook_ = std::move(hook);
+}
+
+void ShardedCache::rebalance() {
+  const std::vector<ShardStats> stats = shard_stats();
+  std::vector<std::size_t> split;
+  if (rebalance_hook_) {
+    split = rebalance_hook_(stats);
+  } else {
+    std::vector<std::uint64_t> misses;
+    misses.reserve(stats.size());
+    for (const ShardStats& s : stats) misses.push_back(s.misses);
+    split = miss_rate_split(options_.capacity, misses,
+                            options_.min_shard_capacity);
+  }
+  CCC_REQUIRE(split.size() == shards_.size(),
+              "rebalance hook returned the wrong number of shards");
+  std::size_t sum = 0;
+  for (const std::size_t c : split) {
+    CCC_REQUIRE(c > 0, "rebalance hook starved a shard");
+    sum += c;
+  }
+  CCC_REQUIRE(sum == options_.capacity,
+              "rebalance hook changed the total capacity");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::lock_guard lock(shards_[s]->mutex);
+    shards_[s]->session->resize(split[s]);
+  }
+}
+
+const SimulatorSession& ShardedCache::shard_session(std::size_t shard) const {
+  CCC_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->session;
+}
+
+}  // namespace ccc

@@ -1,0 +1,175 @@
+#pragma once
+/// \file sharded_cache.hpp
+/// \brief Hash-partitioned concurrent frontend over S independent policy
+///        instances — the standard systems move for serving heavy
+///        concurrent traffic from one logical cache.
+///
+/// Pages are partitioned by a mixed hash of their id; shard s owns the
+/// pages with `shard_of(page) == s` and runs its own ReplacementPolicy
+/// (ALG-DISCRETE by default, via make_convex_factory) over its own
+/// CacheState, budgets and eviction index, behind a per-shard mutex. The
+/// decomposition is sound for the paper's algorithm because ALG-DISCRETE's
+/// entire state — budgets B(p), per-tenant miss counts m(i), the global
+/// debit offset and the per-tenant bumps — is a function of the requests
+/// the instance itself served; restricted to the page subset P ∩ shard_s
+/// each shard is simply a smaller instance of the §1.2 problem (cf. the
+/// per-pool decomposition in src/multipool, and the Landlord credit
+/// locality that makes per-shard budget state independent).
+///
+/// What partitioning costs: each shard pays Σ_i f_i(m_{i,s}) against *its*
+/// offline optimum with capacity k_s, so the summed guarantee is
+/// α·Σ_s OPT_s(k_s) — and Σ_s OPT_s(k_s) can exceed the unsharded OPT(k)
+/// because OPT can no longer move capacity between page subsets.
+/// Experiment E10 measures exactly this degradation next to the throughput
+/// the parallelism buys.
+///
+/// Concurrency contract: any number of threads may call access() /
+/// access_batch() concurrently. Requests hitting different shards proceed
+/// in parallel; requests hitting the same shard serialize on that shard's
+/// mutex, in the caller-observed arrival order of lock acquisition.
+/// access_batch() groups its requests by shard and takes each shard lock
+/// once per group, amortizing lock traffic; within a batch, per-shard
+/// request order is preserved, so single-threaded replays are deterministic
+/// for any batch size. Aggregation (metrics, costs, stats) locks shards one
+/// at a time — locks are never nested, so the layer cannot deadlock.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ccc {
+
+/// Splits `total` capacity into `shards` parts differing by at most one
+/// page (the first `total % shards` shards get the extra page). Every
+/// shard receives at least one page; throws if `total < shards`.
+[[nodiscard]] std::vector<std::size_t> even_split(std::size_t total,
+                                                 std::size_t shards);
+
+/// Miss-rate-driven split: capacity proportional to each shard's share of
+/// the observed misses (+1 smoothing so an idle shard keeps a foothold),
+/// floored at `min_per_shard`, remainder to the heaviest missers. The
+/// default rebalancer hook feeds recent per-shard miss counts through this.
+[[nodiscard]] std::vector<std::size_t> miss_rate_split(
+    std::size_t total, const std::vector<std::uint64_t>& misses,
+    std::size_t min_per_shard);
+
+struct ShardedCacheOptions {
+  std::size_t capacity = 0;    ///< total pages summed across shards
+  std::size_t num_shards = 1;
+  std::uint32_t num_tenants = 0;
+  std::uint64_t seed = 1;      ///< shard s seeds its policy with seed + s
+  /// Capacity floor per shard enforced by the default rebalancer.
+  std::size_t min_shard_capacity = 1;
+};
+
+/// Per-shard observability snapshot (inputs to rebalancing decisions).
+struct ShardStats {
+  std::size_t capacity = 0;
+  std::size_t resident = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t accesses = hits + misses;
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class ShardedCache {
+ public:
+  /// Computes a new capacity split from the current per-shard stats. Must
+  /// return `num_shards()` positive entries summing to the total capacity
+  /// (rebalance() validates and throws otherwise).
+  using RebalanceHook =
+      std::function<std::vector<std::size_t>(const std::vector<ShardStats>&)>;
+
+  /// `factory` builds one independent policy per shard (nullptr selects
+  /// ALG-DISCRETE via make_convex_factory). `costs`, when provided, must
+  /// hold one function per tenant and outlive the cache.
+  ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
+               const std::vector<CostFunctionPtr>* costs);
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Routes one request to its shard (locks it) and returns what happened.
+  StepEvent access(const Request& request);
+
+  /// Groups `batch` by shard, then processes each group under one lock
+  /// acquisition. Thread-safe; per-shard request order within the batch is
+  /// preserved.
+  void access_batch(std::span<const Request> batch);
+
+  /// As above, additionally appending one StepEvent per request to
+  /// `events`, grouped by ascending shard id and in batch order within a
+  /// shard (with one shard this is exactly the batch order).
+  void access_batch(std::span<const Request> batch,
+                    std::vector<StepEvent>& events);
+
+  [[nodiscard]] std::size_t shard_of(PageId page) const noexcept;
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return options_.num_tenants;
+  }
+  [[nodiscard]] std::size_t total_capacity() const noexcept {
+    return options_.capacity;
+  }
+
+  /// Per-tenant metrics summed across shards — the global books. In
+  /// particular miss_vector() feeds the paper objective Σ_i f_i(misses_i),
+  /// which stays a *global* quantity even though each shard only tracked
+  /// its own share.
+  [[nodiscard]] Metrics aggregated_metrics() const;
+
+  /// Index/work counters summed across shards (wall_seconds stays zero —
+  /// the replay driver owns the clock).
+  [[nodiscard]] PerfCounters aggregated_perf() const;
+
+  /// Σ_i f_i(Σ_s misses_{i,s}) under the constructor's cost functions;
+  /// throws if none were provided.
+  [[nodiscard]] double global_miss_cost() const;
+
+  /// Whether the constructor received per-tenant cost functions.
+  [[nodiscard]] bool has_costs() const noexcept { return costs_ != nullptr; }
+
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+  [[nodiscard]] std::vector<std::size_t> capacities() const;
+
+  /// Replaces the rebalancer (nullptr restores the default miss-rate hook).
+  void set_rebalance_hook(RebalanceHook hook);
+
+  /// Recomputes the capacity split from current shard stats via the hook
+  /// and applies it: growing shards just get headroom, shrinking shards
+  /// drain immediately through their policy's eviction path (see
+  /// SimulatorSession::resize). Not concurrency-safe against in-flight
+  /// access — call from a quiesced control thread.
+  void rebalance();
+
+  /// Read-only view of one shard's session (tests / diagnostics; take care
+  /// not to race a concurrent replay).
+  [[nodiscard]] const SimulatorSession& shard_session(std::size_t shard) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::unique_ptr<SimulatorSession> session;
+    mutable std::mutex mutex;
+  };
+
+  ShardedCacheOptions options_;
+  const std::vector<CostFunctionPtr>* costs_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  RebalanceHook rebalance_hook_;
+};
+
+}  // namespace ccc

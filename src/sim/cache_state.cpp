@@ -27,4 +27,9 @@ void CacheState::erase(PageId page) {
   CCC_REQUIRE(erased == 1, "evicting a page that is not resident");
 }
 
+void CacheState::set_capacity(std::size_t capacity) {
+  CCC_REQUIRE(capacity > 0, "cache capacity must be positive");
+  capacity_ = capacity;
+}
+
 }  // namespace ccc

@@ -31,6 +31,12 @@ class CacheState {
   /// Evicts a page; throws if not resident.
   void erase(PageId page);
 
+  /// Changes the capacity (shard rebalancing). The resident set is left
+  /// untouched, so after a shrink `size()` may temporarily exceed the new
+  /// capacity; the owner must drain via erase() before the next insert()
+  /// (SimulatorSession::resize does exactly that).
+  void set_capacity(std::size_t capacity);
+
   /// Resident pages and their owners (iteration order unspecified).
   [[nodiscard]] const std::unordered_map<PageId, TenantId>& pages()
       const noexcept {

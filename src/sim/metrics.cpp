@@ -42,6 +42,16 @@ void Metrics::record_eviction(TenantId tenant) {
   ++evictions_[tenant];
 }
 
+void Metrics::merge(const Metrics& other) {
+  CCC_REQUIRE(other.hits_.size() == hits_.size(),
+              "merging metrics with different tenant counts");
+  for (std::size_t t = 0; t < hits_.size(); ++t) {
+    hits_[t] += other.hits_[t];
+    misses_[t] += other.misses_[t];
+    evictions_[t] += other.evictions_[t];
+  }
+}
+
 std::uint64_t Metrics::hits(TenantId tenant) const {
   CCC_REQUIRE(tenant < hits_.size(), "tenant id out of range");
   return hits_[tenant];

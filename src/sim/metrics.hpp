@@ -46,6 +46,10 @@ class Metrics {
   void record_miss(TenantId tenant);
   void record_eviction(TenantId tenant);
 
+  /// Adds another run's per-tenant counts into this one (cross-shard
+  /// aggregation). Throws if the tenant counts differ.
+  void merge(const Metrics& other);
+
   [[nodiscard]] std::uint32_t num_tenants() const noexcept {
     return static_cast<std::uint32_t>(hits_.size());
   }

@@ -8,6 +8,8 @@
 /// to maintain its internal metadata. Offline policies (Belady, the batch
 /// balancer) additionally receive the full trace via preview().
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -85,5 +87,10 @@ class ReplacementPolicy {
   /// and wall-clock time on top of whatever the policy returns.
   [[nodiscard]] virtual PerfCounters perf_counters() const { return {}; }
 };
+
+/// Builds fresh policy instances — one per pool (multipool) or per shard
+/// (sharded frontend). Every instance must be independent: factories
+/// capture configuration, never a policy object.
+using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>()>;
 
 }  // namespace ccc

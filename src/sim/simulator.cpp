@@ -87,6 +87,18 @@ PerfCounters SimulatorSession::perf_counters() const {
   return perf;
 }
 
+void SimulatorSession::resize(std::size_t new_capacity) {
+  cache_.set_capacity(new_capacity);
+  while (cache_.size() > new_capacity) {
+    const PageId victim = policy_.choose_victim(Request{0, 0}, time_);
+    CCC_CHECK(cache_.contains(victim), "policy chose a non-resident victim");
+    const TenantId owner = cache_.owner(victim);
+    cache_.erase(victim);
+    metrics_.record_eviction(owner);
+    policy_.on_evict(victim, owner, time_);
+  }
+}
+
 void SimulatorSession::invalidate(PageId page) {
   const TenantId owner = cache_.owner(page);
   cache_.erase(page);

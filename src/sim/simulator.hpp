@@ -97,6 +97,14 @@ class SimulatorSession {
   /// eviction. Throws if the page is not resident.
   void invalidate(PageId page);
 
+  /// Changes the cache capacity mid-run (shard rebalancing). Growing is
+  /// free; shrinking drains the excess immediately by asking the policy for
+  /// victims with a sentinel `Request{0, 0}` — sound for every policy whose
+  /// choose_victim ignores the incoming request (all built-ins except ARC
+  /// and the static partitioner, which only use it as a routing hint).
+  /// Evictions performed here are recorded in the metrics like any other.
+  void resize(std::size_t new_capacity);
+
   [[nodiscard]] const CacheState& cache() const noexcept { return cache_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] TimeStep now() const noexcept { return time_; }

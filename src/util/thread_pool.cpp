@@ -46,9 +46,30 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i)
-    submit([&fn, i] { fn(i); });
+  CCC_REQUIRE(fn != nullptr, "parallel_for needs a function");
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        // A captured task error makes the remaining iterations pointless;
+        // stop feeding the queue and let wait_idle() report it.
+        const std::lock_guard lock(mutex_);
+        if (first_error_) break;
+      }
+      submit([&fn, i] { fn(i); });
+    }
+  } catch (...) {
+    // Submission itself failed (allocation, pool misuse). Tasks already
+    // queued capture `&fn` — they must drain before this frame unwinds or
+    // they would run against a dangling reference.
+    drain();
+    throw;
+  }
   wait_idle();
+}
+
+void ThreadPool::drain() noexcept {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
@@ -62,14 +83,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    // Anything the task throws — std::exception or not — is captured for
+    // wait_idle(); nothing may escape this thread (that would terminate
+    // the process). The error is recorded in the same critical section as
+    // the in-flight decrement so a concurrent wait_idle() can never
+    // observe "all done" without also seeing the error.
+    std::exception_ptr error;
     try {
       task();
     } catch (...) {
-      const std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      error = std::current_exception();
     }
+    task = nullptr;  // task destructor runs before we report completion
     {
       const std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -37,11 +37,17 @@ class ThreadPool {
   /// captured task exception, if any.
   void wait_idle();
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits. If some
+  /// `fn(i)` throws, remaining iterations may be skipped and the first
+  /// exception is rethrown here; the pool stays usable afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+
+  /// Blocks until in-flight tasks finish without rethrowing captured
+  /// errors (exception-unwind path of parallel_for).
+  void drain() noexcept;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -1,0 +1,398 @@
+// Tests for the sharded concurrent frontend (src/shard): capacity
+// splitters, the hash partition, the 1-shard differential guarantee
+// (byte-identical to a bare SimulatorSession), batch/thread determinism,
+// the miss-rate rebalancer, and a TSan-targeted concurrent stress run.
+#include "shard/sharded_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/convex_caching.hpp"
+#include "cost/monomial.hpp"
+#include "shard/parallel_replay.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace ccc {
+namespace {
+
+Trace zipf_trace(std::uint32_t tenants, std::uint64_t pages_per_tenant,
+                 std::size_t length, std::uint64_t seed) {
+  std::vector<TenantWorkload> workloads;
+  workloads.reserve(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t)
+    workloads.push_back(
+        {std::make_unique<ZipfPages>(pages_per_tenant, 0.9), 1.0});
+  Rng rng(seed);
+  return generate_trace(std::move(workloads), length, rng);
+}
+
+std::vector<CostFunctionPtr> quadratic_costs(std::uint32_t tenants) {
+  std::vector<CostFunctionPtr> costs;
+  costs.reserve(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t)
+    costs.push_back(
+        std::make_unique<MonomialCost>(2.0, 1.0 + static_cast<double>(t % 3)));
+  return costs;
+}
+
+ShardedCacheOptions options_for(std::size_t capacity, std::size_t shards,
+                                std::uint32_t tenants) {
+  ShardedCacheOptions options;
+  options.capacity = capacity;
+  options.num_shards = shards;
+  options.num_tenants = tenants;
+  options.seed = 7;
+  return options;
+}
+
+// ---------------------------------------------------------------- splitters
+
+TEST(CapacitySplitter, EvenSplitDistributesRemainder) {
+  EXPECT_EQ(even_split(10, 3), (std::vector<std::size_t>{4, 3, 3}));
+  EXPECT_EQ(even_split(12, 4), (std::vector<std::size_t>{3, 3, 3, 3}));
+  EXPECT_EQ(even_split(5, 5), (std::vector<std::size_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(CapacitySplitter, EvenSplitRejectsStarvedShards) {
+  EXPECT_THROW((void)even_split(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)even_split(8, 0), std::invalid_argument);
+}
+
+TEST(CapacitySplitter, MissRateSplitConservesTotalAndFloors) {
+  const std::vector<std::uint64_t> misses{1000, 10, 0, 10};
+  const auto split = miss_rate_split(100, misses, 2);
+  EXPECT_EQ(split.size(), 4u);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), std::size_t{0}),
+            100u);
+  for (const std::size_t c : split) EXPECT_GE(c, 2u);
+  // The dominant misser gets the lion's share.
+  EXPECT_GT(split[0], split[1]);
+  EXPECT_GT(split[0], 50u);
+}
+
+TEST(CapacitySplitter, MissRateSplitUniformWhenIdle) {
+  const auto split = miss_rate_split(16, {0, 0, 0, 0}, 1);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), std::size_t{0}), 16u);
+  for (const std::size_t c : split) EXPECT_GE(c, 3u);  // near-even
+}
+
+// ------------------------------------------------------------ construction
+
+TEST(ShardedCache, ValidatesOptions) {
+  const auto costs = quadratic_costs(4);
+  EXPECT_THROW(ShardedCache(options_for(16, 0, 4), nullptr, &costs),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedCache(options_for(3, 4, 4), nullptr, &costs),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedCache(options_for(16, 4, 0), nullptr, &costs),
+               std::invalid_argument);
+}
+
+TEST(ShardedCache, ShardOfIsStableAndInRange) {
+  const auto costs = quadratic_costs(4);
+  ShardedCache cache(options_for(64, 8, 4), nullptr, &costs);
+  for (PageId page = 0; page < 1000; ++page) {
+    const std::size_t s = cache.shard_of(page);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, cache.shard_of(page));
+  }
+}
+
+TEST(ShardedCache, HashSpreadsTenantPages) {
+  // make_page keeps the tenant in the high bits; the mixed hash must still
+  // spread one tenant's pages across shards instead of pinning the tenant.
+  const auto costs = quadratic_costs(1);
+  ShardedCache cache(options_for(64, 8, 1), nullptr, &costs);
+  std::vector<std::size_t> hist(8, 0);
+  for (std::uint64_t local = 0; local < 800; ++local)
+    ++hist[cache.shard_of(make_page(0, local))];
+  for (const std::size_t count : hist) EXPECT_GT(count, 0u);
+}
+
+// -------------------------------------------------- 1-shard differential
+
+// With one shard, the frontend must be a bit-transparent wrapper: same
+// victims, same victim owners, same hit/miss pattern, same counters, same
+// objective — the "zero behavioral drift" acceptance gate.
+TEST(ShardedCache, OneShardMatchesBareSessionExactly) {
+  const std::uint32_t tenants = 6;
+  const std::size_t capacity = 24;
+  const Trace trace = zipf_trace(tenants, 32, 6000, 11);
+  const auto costs = quadratic_costs(tenants);
+
+  ConvexCachingPolicy reference_policy;
+  SimulatorSession reference(capacity, tenants, reference_policy, &costs);
+
+  ShardedCache sharded(options_for(capacity, 1, tenants),
+                       make_convex_factory(), &costs);
+
+  for (const Request& request : trace) {
+    const StepEvent expected = reference.step(request);
+    const StepEvent actual = sharded.access(request);
+    ASSERT_EQ(actual.hit, expected.hit);
+    ASSERT_EQ(actual.victim, expected.victim);
+    ASSERT_EQ(actual.victim_owner, expected.victim_owner);
+  }
+
+  const Metrics aggregated = sharded.aggregated_metrics();
+  for (TenantId t = 0; t < tenants; ++t) {
+    EXPECT_EQ(aggregated.hits(t), reference.metrics().hits(t));
+    EXPECT_EQ(aggregated.misses(t), reference.metrics().misses(t));
+    EXPECT_EQ(aggregated.evictions(t), reference.metrics().evictions(t));
+  }
+  EXPECT_DOUBLE_EQ(sharded.global_miss_cost(),
+                   total_cost(reference.metrics().miss_vector(), costs));
+
+  const PerfCounters expected_perf = reference.perf_counters();
+  const PerfCounters actual_perf = sharded.aggregated_perf();
+  EXPECT_EQ(actual_perf.requests, expected_perf.requests);
+  EXPECT_EQ(actual_perf.evictions, expected_perf.evictions);
+  EXPECT_EQ(actual_perf.heap_pops, expected_perf.heap_pops);
+  EXPECT_EQ(actual_perf.stale_skips, expected_perf.stale_skips);
+  EXPECT_EQ(actual_perf.index_rebuilds, expected_perf.index_rebuilds);
+}
+
+// Same guarantee through the batched path, with adversarially randomized
+// batch sizes: one shard ⇒ batching must not change a single event.
+TEST(ShardedCache, OneShardBatchedReplayIsByteIdentical) {
+  const std::uint32_t tenants = 4;
+  const std::size_t capacity = 16;
+  const Trace trace = zipf_trace(tenants, 24, 4000, 23);
+  const auto costs = quadratic_costs(tenants);
+
+  ConvexCachingPolicy reference_policy;
+  const SimOptions record{.record_events = true, .seed = 1, .auditor = nullptr};
+  const SimResult expected =
+      run_trace(trace, capacity, reference_policy, &costs, record);
+
+  ShardedCache sharded(options_for(capacity, 1, tenants),
+                       make_convex_factory(), &costs);
+  std::vector<StepEvent> events;
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::size_t> batch_size(1, 97);
+  std::size_t begin = 0;
+  while (begin < trace.size()) {
+    const std::size_t count =
+        std::min(batch_size(rng), trace.size() - begin);
+    sharded.access_batch(
+        std::span<const Request>(&trace.requests()[begin], count), events);
+    begin += count;
+  }
+
+  ASSERT_EQ(events.size(), expected.events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].request, expected.events[i].request);
+    ASSERT_EQ(events[i].hit, expected.events[i].hit);
+    ASSERT_EQ(events[i].victim, expected.events[i].victim);
+    ASSERT_EQ(events[i].victim_owner, expected.events[i].victim_owner);
+  }
+}
+
+// ------------------------------------------------------- multi-shard books
+
+TEST(ShardedCache, AggregationConservesRequestsAcrossShards) {
+  const std::uint32_t tenants = 8;
+  const Trace trace = zipf_trace(tenants, 32, 8000, 31);
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(options_for(64, 4, tenants), make_convex_factory(),
+                     &costs);
+
+  for (const Request& request : trace) (void)cache.access(request);
+
+  const Metrics m = cache.aggregated_metrics();
+  EXPECT_EQ(m.total_hits() + m.total_misses(), trace.size());
+  EXPECT_EQ(cache.aggregated_perf().requests, trace.size());
+
+  // Per-tenant conservation: every request of tenant t is a hit or miss of
+  // tenant t in exactly one shard.
+  const auto per_tenant = trace.requests_per_tenant();
+  for (TenantId t = 0; t < tenants; ++t)
+    EXPECT_EQ(m.hits(t) + m.misses(t), per_tenant[t]);
+
+  const auto stats = cache.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t shard_accesses = 0;
+  for (const ShardStats& s : stats) shard_accesses += s.hits + s.misses;
+  EXPECT_EQ(shard_accesses, trace.size());
+}
+
+TEST(ShardedCache, BatchAndSingleAccessAgreeForAnyShardCount) {
+  const std::uint32_t tenants = 5;
+  const Trace trace = zipf_trace(tenants, 16, 5000, 43);
+  const auto costs = quadratic_costs(tenants);
+
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    ShardedCache one_by_one(options_for(48, shards, tenants),
+                            make_convex_factory(), &costs);
+    for (const Request& request : trace) (void)one_by_one.access(request);
+
+    ShardedCache batched(options_for(48, shards, tenants),
+                         make_convex_factory(), &costs);
+    std::mt19937 rng(7 + shards);
+    std::uniform_int_distribution<std::size_t> batch_size(1, 129);
+    std::size_t begin = 0;
+    while (begin < trace.size()) {
+      const std::size_t count =
+          std::min(batch_size(rng), trace.size() - begin);
+      batched.access_batch(
+          std::span<const Request>(&trace.requests()[begin], count));
+      begin += count;
+    }
+
+    // Batching groups by shard but preserves per-shard order, so every
+    // shard sees the identical subsequence ⇒ identical global books.
+    const Metrics a = one_by_one.aggregated_metrics();
+    const Metrics b = batched.aggregated_metrics();
+    for (TenantId t = 0; t < tenants; ++t) {
+      EXPECT_EQ(a.hits(t), b.hits(t)) << "shards=" << shards;
+      EXPECT_EQ(a.misses(t), b.misses(t)) << "shards=" << shards;
+    }
+    EXPECT_DOUBLE_EQ(one_by_one.global_miss_cost(),
+                     batched.global_miss_cost());
+  }
+}
+
+// ---------------------------------------------------------------- replayer
+
+TEST(ParallelReplayer, ThreadCountDoesNotChangeResults) {
+  const std::uint32_t tenants = 6;
+  const Trace trace = zipf_trace(tenants, 24, 6000, 17);
+  const auto costs = quadratic_costs(tenants);
+
+  std::vector<std::vector<std::uint64_t>> miss_vectors;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ShardedCache cache(options_for(48, 4, tenants), make_convex_factory(),
+                       &costs);
+    ParallelReplayOptions options;
+    options.threads = threads;
+    options.batch_size = 64;
+    ParallelReplayer replayer(options);
+    const ParallelReplayResult result = replayer.replay(trace, cache);
+    EXPECT_EQ(result.metrics.total_hits() + result.metrics.total_misses(),
+              trace.size());
+    EXPECT_EQ(std::accumulate(result.shard_requests.begin(),
+                              result.shard_requests.end(), std::uint64_t{0}),
+              trace.size());
+    miss_vectors.push_back(result.metrics.miss_vector());
+  }
+  EXPECT_EQ(miss_vectors[0], miss_vectors[1]);
+  EXPECT_EQ(miss_vectors[0], miss_vectors[2]);
+}
+
+TEST(ParallelReplayer, RejectsTraceWithMoreTenantsThanCache) {
+  const auto costs = quadratic_costs(2);
+  ShardedCache cache(options_for(16, 2, 2), nullptr, &costs);
+  ParallelReplayer replayer;
+  const Trace trace = zipf_trace(4, 8, 100, 3);
+  EXPECT_THROW((void)replayer.replay(trace, cache), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- rebalance
+
+TEST(ShardedCache, RebalanceKeepsTotalCapacityAndDrainsShrunkShards) {
+  const std::uint32_t tenants = 8;
+  const Trace trace = zipf_trace(tenants, 32, 8000, 53);
+  const auto costs = quadratic_costs(tenants);
+  auto options = options_for(64, 4, tenants);
+  options.min_shard_capacity = 4;
+  ShardedCache cache(options, make_convex_factory(), &costs);
+  for (const Request& request : trace) (void)cache.access(request);
+
+  cache.rebalance();
+
+  const auto caps = cache.capacities();
+  EXPECT_EQ(std::accumulate(caps.begin(), caps.end(), std::size_t{0}), 64u);
+  const auto stats = cache.shard_stats();
+  for (std::size_t s = 0; s < caps.size(); ++s) {
+    EXPECT_GE(caps[s], 4u);
+    EXPECT_LE(stats[s].resident, caps[s]);  // shrunk shards drained
+  }
+
+  // The cache keeps serving correctly after the capacity shuffle.
+  const Trace more = zipf_trace(tenants, 32, 2000, 54);
+  for (const Request& request : more) (void)cache.access(request);
+  const Metrics m = cache.aggregated_metrics();
+  EXPECT_EQ(m.total_hits() + m.total_misses(), trace.size() + more.size());
+}
+
+TEST(ShardedCache, RebalanceHookIsValidated) {
+  const auto costs = quadratic_costs(4);
+  ShardedCache cache(options_for(32, 4, 4), nullptr, &costs);
+  cache.set_rebalance_hook(
+      [](const std::vector<ShardStats>&) {
+        return std::vector<std::size_t>{32, 0, 0, 0};  // starves shards
+      });
+  EXPECT_THROW(cache.rebalance(), std::invalid_argument);
+  cache.set_rebalance_hook(
+      [](const std::vector<ShardStats>&) {
+        return std::vector<std::size_t>{8, 8, 8};  // wrong shard count
+      });
+  EXPECT_THROW(cache.rebalance(), std::invalid_argument);
+  cache.set_rebalance_hook(
+      [](const std::vector<ShardStats>&) {
+        return std::vector<std::size_t>{16, 8, 4, 4};
+      });
+  cache.rebalance();
+  EXPECT_EQ(cache.capacities(), (std::vector<std::size_t>{16, 8, 4, 4}));
+}
+
+// ------------------------------------------------------------------ stress
+
+// Concurrent writers with randomized batch sizes — the TSan target. Any
+// missing lock in the access path, the aggregation path, or the policy
+// state shows up here as a data race; without TSan it still checks global
+// request conservation under real contention.
+TEST(ShardedCache, ConcurrentBatchedAccessIsRaceFreeAndConserving) {
+  const std::uint32_t tenants = 8;
+  const std::size_t writers = 4;
+  const std::size_t requests_per_writer = 4000;
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(options_for(64, 8, tenants), make_convex_factory(),
+                     &costs);
+
+  std::vector<Trace> traces;
+  for (std::size_t w = 0; w < writers; ++w)
+    traces.push_back(
+        zipf_trace(tenants, 32, requests_per_writer, 1000 + 31 * w));
+
+  std::atomic<std::uint64_t> sent{0};
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (std::size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(w));
+      std::uniform_int_distribution<std::size_t> batch_size(1, 61);
+      const std::vector<Request>& requests = traces[w].requests();
+      std::size_t begin = 0;
+      while (begin < requests.size()) {
+        const std::size_t count =
+            std::min(batch_size(rng), requests.size() - begin);
+        cache.access_batch(
+            std::span<const Request>(&requests[begin], count));
+        sent.fetch_add(count, std::memory_order_relaxed);
+        begin += count;
+        if (begin % 512 == 0) {
+          // Concurrent readers of the aggregation paths.
+          (void)cache.shard_stats();
+          (void)cache.global_miss_cost();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Metrics m = cache.aggregated_metrics();
+  EXPECT_EQ(sent.load(), writers * requests_per_writer);
+  EXPECT_EQ(m.total_hits() + m.total_misses(),
+            writers * requests_per_writer);
+  EXPECT_EQ(cache.aggregated_perf().requests, writers * requests_per_writer);
+}
+
+}  // namespace
+}  // namespace ccc

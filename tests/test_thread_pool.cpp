@@ -49,6 +49,84 @@ TEST(ThreadPool, ExceptionPropagatesFromWaitIdle) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+// Regression: a throwing task must never escape a worker thread (that
+// would std::terminate the process); the message must survive verbatim.
+TEST(ThreadPool, ExceptionMessageSurvivesIntact) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom42"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom42");
+  }
+}
+
+// Regression: non-std exception objects take the same capture path.
+TEST(ThreadPool, NonStdExceptionIsCapturedNotFatal) {
+  ThreadPool pool(2);
+  pool.submit([] { throw 42; });  // NOLINT(hicpp-exception-baseclass)
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const int value) {
+    EXPECT_EQ(value, 42);
+  }
+}
+
+// Regression: a storm of failures must surface exactly one error per
+// wait_idle and leave every non-throwing task's effect in place.
+TEST(ThreadPool, ManyConcurrentThrowersFirstErrorWins) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([] { throw std::runtime_error("storm"); });
+    pool.submit([&completed] { ++completed; });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 64);
+  pool.wait_idle();  // error slot was consumed; pool is clean again
+}
+
+// Regression: parallel_for propagates a worker exception to its caller and
+// leaves the pool reusable — it must not leak queued references to `fn`.
+TEST(ThreadPool, ParallelForPropagatesTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&ran](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("cell failed");
+                                   ++ran;
+                                 }),
+               std::runtime_error);
+  EXPECT_LE(ran.load(), 99);
+  // A later parallel_for on the same pool is unaffected.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&ok](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+// Regression: every iteration failing is still one exception to the
+// caller, not a terminate — and early-stop means the pool does not insist
+// on running all n doomed iterations once the first failure is recorded.
+TEST(ThreadPool, ParallelForAllIterationsThrowing) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("doomed");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&ok](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForRejectsEmptyFunction) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(4, nullptr), std::invalid_argument);
+}
+
 TEST(ThreadPool, RejectsEmptyTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
