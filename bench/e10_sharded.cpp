@@ -15,9 +15,11 @@
 /// Results are emitted as JSON (default BENCH_sharded.json) next to the
 /// ASCII table, in the same shape CI archives for e6.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +27,9 @@
 #include "core/convex_caching.hpp"
 #include "cost/monomial.hpp"
 #include "cost/piecewise_linear.hpp"
+#include "obs/observer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
 #include "shard/parallel_replay.hpp"
 #include "shard/sharded_cache.hpp"
 #include "sim/simulator.hpp"
@@ -81,7 +86,32 @@ struct BenchRow {
   double miss_cost = 0.0;
   double speedup = 0.0;     ///< vs the 1-shard/1-thread cell, same family
   double cost_ratio = 0.0;  ///< miss_cost / unsharded miss_cost
+  double shard_seconds = 0.0;  ///< Σ per-shard in-lock time
 };
+
+/// `foo.json` → `foo<suffix>` (see e6_throughput's obs outputs).
+std::string obs_path(const std::string& json_path, const char* suffix) {
+  const std::string base =
+      json_path.size() > 5 && json_path.ends_with(".json")
+          ? json_path.substr(0, json_path.size() - 5)
+          : json_path;
+  return base + suffix;
+}
+
+void write_obs_outputs(const obs::MetricsRegistry& registry,
+                       const std::string& json_path) {
+  const std::string obs_json = obs_path(json_path, ".obs.json");
+  std::ofstream json_out(obs_json);
+  if (!json_out) throw std::runtime_error("cannot write " + obs_json);
+  registry.write_json(json_out);
+  std::cout << "wrote " << obs_json << "\n";
+
+  const std::string obs_prom = obs_path(json_path, ".obs.prom");
+  std::ofstream prom_out(obs_prom);
+  if (!prom_out) throw std::runtime_error("cannot write " + obs_prom);
+  registry.write_prometheus(prom_out);
+  std::cout << "wrote " << obs_prom << "\n";
+}
 
 void write_json(const std::string& path, const Cli& cli, std::size_t tenants,
                 const std::vector<BenchRow>& rows,
@@ -122,6 +152,7 @@ void write_json(const std::string& path, const Cli& cli, std::size_t tenants,
                ? static_cast<double>(r.perf.requests) / r.perf.wall_seconds
                : 0.0)
        << ", \"speedup_vs_1shard\": " << r.speedup
+       << ", \"shard_seconds\": " << r.shard_seconds
        << ", \"hits\": " << r.hits << ", \"misses\": " << r.misses
        << ", \"evictions\": " << r.perf.evictions
        << ", \"miss_cost\": " << r.miss_cost
@@ -150,6 +181,12 @@ int run(int argc, const char* const* argv) {
       .flag("skew", "0.9", "Zipf skew of every tenant's stream")
       .flag("batch", "1024", "requests per access_batch call")
       .flag("seed", "1234", "trace generator seed")
+      .flag("obs", "0",
+            "1 = share one SimObserver across every cell's shards and dump "
+            "latency/eviction histograms plus all counters next to the "
+            "bench JSON (requires a CCC_OBS build)")
+      .flag("obs-cadence", "8",
+            "observed cells: time every Nth step (1 = every step)")
       .flag("json", "BENCH_sharded.json", "output JSON path (empty = none)");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -161,6 +198,17 @@ int run(int argc, const char* const* argv) {
   const std::size_t capacity =
       static_cast<std::size_t>(cli.get_u64("k-per-tenant")) * tenants;
   const auto batch = static_cast<std::size_t>(cli.get_u64("batch"));
+  const bool observe = cli.get_bool("obs");
+  const std::uint64_t obs_cadence =
+      std::max<std::uint64_t>(1, cli.get_u64("obs-cadence"));
+#ifndef CCC_OBS_ENABLED
+  if (observe)
+    throw std::runtime_error(
+        "--obs requires a binary built with -DCCC_OBS=ON");
+#endif
+  const std::unique_ptr<obs::TraceEventWriter> trace_writer =
+      observe ? obs::TraceEventWriter::from_env() : nullptr;
+  obs::MetricsRegistry obs_registry;
 
   const Trace trace =
       make_trace(tenants, cli.get_u64("pages-per-tenant"),
@@ -185,7 +233,12 @@ int run(int argc, const char* const* argv) {
               << reference.perf.ns_per_request() << " ns/req, cost "
               << format_compact(unsharded_cost) << "\n";
 
-    double base_wall = 0.0;  // 1-shard/1-thread wall-clock of this family
+    // 1-shard/1-thread wall-clock of this family. Latched on the first
+    // cell exactly once: the old `base_wall == 0.0` re-latch made a later
+    // cell the baseline whenever the first one timed at zero, silently
+    // inflating every speedup in the family.
+    double base_wall = 0.0;
+    bool have_base = false;
     for (const std::uint64_t s64 : shard_counts) {
       for (const std::uint64_t t64 : thread_counts) {
         const auto num_shards = static_cast<std::size_t>(s64);
@@ -196,6 +249,14 @@ int run(int argc, const char* const* argv) {
         options.num_shards = num_shards;
         options.num_tenants = tenants;
         options.seed = cli.get_u64("seed");
+        std::unique_ptr<obs::SimObserver> observer;
+        if (observe) {
+          obs::SimObserverOptions observer_options;
+          observer_options.latency_sample_period = obs_cadence;
+          observer_options.trace = trace_writer.get();
+          observer = std::make_unique<obs::SimObserver>(observer_options);
+          options.step_observer = observer.get();
+        }
         ShardedCache cache(options, make_convex_factory(), &costs);
 
         ParallelReplayOptions replay_options;
@@ -213,10 +274,28 @@ int run(int argc, const char* const* argv) {
         row.hits = result.metrics.total_hits();
         row.misses = result.metrics.total_misses();
         row.miss_cost = result.miss_cost;
-        if (base_wall == 0.0) base_wall = result.perf.wall_seconds;
-        row.speedup = result.perf.wall_seconds > 0.0
-                          ? base_wall / result.perf.wall_seconds
-                          : 0.0;
+        row.shard_seconds = result.shard_seconds;
+        if (observer != nullptr) {
+          const obs::LabelSet labels{
+              {"cost", family},
+              {"shards", std::to_string(num_shards)},
+              {"threads", std::to_string(num_threads)}};
+          observer->fill(obs_registry, labels);
+          obs::snapshot_perf(obs_registry, result.perf, labels);
+          obs::snapshot_sharded(obs_registry, cache, labels);
+        }
+        if (!have_base) {
+          base_wall = result.perf.wall_seconds;
+          have_base = true;
+          if (base_wall <= 0.0)
+            std::cerr << "warning: " << family
+                      << " baseline cell reported zero wall_seconds; "
+                         "speedups for this family are unreliable\n";
+        }
+        row.speedup =
+            result.perf.wall_seconds > 0.0 && base_wall > 0.0
+                ? base_wall / result.perf.wall_seconds
+                : 0.0;
         row.cost_ratio =
             unsharded_cost > 0.0 ? row.miss_cost / unsharded_cost : 0.0;
 
@@ -240,6 +319,7 @@ int run(int argc, const char* const* argv) {
   std::cout << "\n" << table.to_ascii() << "\n";
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) write_json(json_path, cli, tenants, rows, baselines);
+  if (observe && !json_path.empty()) write_obs_outputs(obs_registry, json_path);
   return 0;
 }
 

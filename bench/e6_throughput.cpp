@@ -18,9 +18,11 @@
 /// (the quadratic blow-up is the point; no need to wait hours for it) and
 /// the skip is recorded in the JSON.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +39,10 @@
 #ifdef CCC_AUDIT_ENABLED
 #include "audit/audit.hpp"
 #endif
+
+#include "obs/observer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
 
 namespace ccc {
 namespace {
@@ -143,16 +149,46 @@ void write_json(const std::string& path, const Cli& cli,
   std::cout << "wrote " << path << "\n";
 }
 
+/// Derives the obs snapshot path from the bench JSON path: `foo.json` →
+/// `foo.obs.json` / `foo.obs.prom`; a non-.json path just gets the suffix
+/// appended.
+std::string obs_path(const std::string& json_path, const char* suffix) {
+  const std::string base =
+      json_path.size() > 5 && json_path.ends_with(".json")
+          ? json_path.substr(0, json_path.size() - 5)
+          : json_path;
+  return base + suffix;
+}
+
+void write_obs_outputs(const obs::MetricsRegistry& registry,
+                       const std::string& json_path) {
+  const std::string obs_json = obs_path(json_path, ".obs.json");
+  std::ofstream json_out(obs_json);
+  if (!json_out) throw std::runtime_error("cannot write " + obs_json);
+  registry.write_json(json_out);
+  std::cout << "wrote " << obs_json << "\n";
+
+  const std::string obs_prom = obs_path(json_path, ".obs.prom");
+  std::ofstream prom_out(obs_prom);
+  if (!prom_out) throw std::runtime_error("cannot write " + obs_prom);
+  registry.write_prometheus(prom_out);
+  std::cout << "wrote " << obs_prom << "\n";
+}
+
 /// Measures one cell: `repeats` runs of `policy_name` over `trace`, keeping
 /// the min-wall-clock repeat. With `audit` true the runs carry a
 /// ConvexCachingAuditor (cadence `audit_cadence`); any reported violation
 /// aborts the benchmark — an audited number from a broken run is worthless.
+/// `observer`, when non-null, is attached to every repeat (requires a
+/// CCC_OBS build).
 void measure(BenchRow& row, const Trace& trace, std::size_t capacity,
              const std::vector<CostFunctionPtr>& costs,
              const std::string& policy_name, std::uint64_t repeats,
-             bool audit, std::uint64_t audit_cadence) {
+             bool audit, std::uint64_t audit_cadence,
+             StepObserver* observer) {
   const auto policy = make_policy(policy_name);
   SimOptions options;
+  options.step_observer = observer;
 #ifdef CCC_AUDIT_ENABLED
   AuditConfig audit_config;
   audit_config.step_cadence = audit_cadence;
@@ -208,6 +244,13 @@ int run(int argc, const char* const* argv) {
             "(requires a CCC_AUDIT build); measures the audit overhead")
       .flag("audit-cadence", "64",
             "audited rows: run the shadow checks every Nth request/eviction")
+      .flag("obs", "0",
+            "1 = attach a SimObserver to every measured cell and dump "
+            "latency/eviction histograms plus all counters next to the "
+            "bench JSON (requires a CCC_OBS build; see --obs-cadence)")
+      .flag("obs-cadence", "8",
+            "observed rows: time every Nth step (1 = every step; higher "
+            "values shrink the observation overhead)")
       .flag("json", "BENCH_throughput.json",
             "output JSON path (empty = no JSON)");
   if (!cli.parse(argc, argv)) return 0;
@@ -231,6 +274,18 @@ int run(int argc, const char* const* argv) {
     throw std::runtime_error(
         "--audit requires a binary built with -DCCC_AUDIT=ON");
 #endif
+  const bool observe = cli.get_bool("obs");
+  const std::uint64_t obs_cadence =
+      std::max<std::uint64_t>(1, cli.get_u64("obs-cadence"));
+#ifndef CCC_OBS_ENABLED
+  if (observe)
+    throw std::runtime_error(
+        "--obs requires a binary built with -DCCC_OBS=ON");
+#endif
+  // Optional Chrome trace spans (CCC_OBS_TRACE=path), shared by all cells.
+  const std::unique_ptr<obs::TraceEventWriter> trace_writer =
+      observe ? obs::TraceEventWriter::from_env() : nullptr;
+  obs::MetricsRegistry obs_registry;
 
   std::vector<BenchRow> rows;
   Table table({"policy", "cost", "tenants", "capacity", "ns/req", "Mreq/s",
@@ -272,8 +327,22 @@ int run(int argc, const char* const* argv) {
         for (const bool audited : {false, true}) {
           if (audited && !(audit && audit_capable)) continue;
           BenchRow cell = row;
+          std::unique_ptr<obs::SimObserver> observer;
+          if (observe) {
+            obs::SimObserverOptions observer_options;
+            observer_options.latency_sample_period = obs_cadence;
+            observer_options.trace = trace_writer.get();
+            observer = std::make_unique<obs::SimObserver>(observer_options);
+          }
           measure(cell, trace, capacity, costs, policy_name, repeats, audited,
-                  audit_cadence);
+                  audit_cadence, observer.get());
+          if (observer != nullptr && !audited) {
+            const obs::LabelSet labels{{"policy", policy_name},
+                                       {"cost", family},
+                                       {"tenants", std::to_string(tenants)}};
+            observer->fill(obs_registry, labels);
+            obs::snapshot_perf(obs_registry, cell.perf, labels);
+          }
           const std::uint64_t accesses = cell.hits + cell.misses;
           const double hit_pct =
               accesses == 0 ? 0.0
@@ -299,6 +368,7 @@ int run(int argc, const char* const* argv) {
   std::cout << "\n" << table.to_ascii() << "\n";
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) write_json(json_path, cli, rows);
+  if (observe && !json_path.empty()) write_obs_outputs(obs_registry, json_path);
   return 0;
 }
 

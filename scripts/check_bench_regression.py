@@ -6,12 +6,23 @@ fresh BENCH_throughput.json against the committed baseline and fails when
 any cell drops by more than the tolerance (default 25%, see
 bench/baselines/README.md for why the bar is that wide on shared runners).
 
+Also sanity-checks the perf plumbing the ratios are built on: a cell whose
+wall_seconds is missing or non-positive fails the gate outright (a zero
+denominator means a dropped counter field upstream, not a fast run), and a
+non-positive baseline rps is a hard input error rather than an automatic
+pass (the old `inf` ratio waved through any cell with a corrupt baseline).
+
 Usage:
   check_bench_regression.py --baseline bench/baselines/BENCH_throughput.baseline.json \
-                            --current BENCH_throughput.json [--tolerance 0.25]
+                            --current BENCH_throughput.json [--tolerance 0.25] \
+                            [--current-obs BENCH_throughput.obs.json]
+
+`--current-obs` additionally validates an observability snapshot emitted by
+`e6_throughput --obs`: it must parse as JSON and contain a non-empty
+`ccc_step_latency_ns` histogram.
 
 Exit status: 0 = within tolerance, 1 = regression or missing cells,
-2 = bad invocation / unreadable input.
+2 = bad invocation / unreadable input / corrupt baseline or snapshot.
 """
 
 import argparse
@@ -35,6 +46,23 @@ def comparable_rows(doc):
     return rows
 
 
+def check_obs_snapshot(path):
+    """Validates an e6 --obs JSON snapshot; returns an error string or None."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return f"cannot read obs snapshot: {e}"
+    families = {m.get("name"): m for m in doc.get("metrics", [])}
+    latency = families.get("ccc_step_latency_ns")
+    if latency is None:
+        return "obs snapshot has no ccc_step_latency_ns histogram"
+    samples = latency.get("samples", [])
+    if not samples or all(s.get("count", 0) <= 0 for s in samples):
+        return "ccc_step_latency_ns histogram is empty (observer not attached?)"
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -44,6 +72,10 @@ def main():
         type=float,
         default=0.25,
         help="maximum allowed fractional throughput drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--current-obs",
+        help="optional e6 --obs JSON snapshot to sanity-check",
     )
     args = parser.parse_args()
 
@@ -73,7 +105,17 @@ def main():
             continue
         base_rps = base_row["requests_per_second"]
         cur_rps = cur_row["requests_per_second"]
-        ratio = cur_rps / base_rps if base_rps > 0 else float("inf")
+        if base_rps <= 0:
+            print(f"check_bench_regression: baseline rps for {label} is "
+                  f"{base_rps} — corrupt baseline file", file=sys.stderr)
+            return 2
+        if cur_row.get("wall_seconds", 0) <= 0:
+            failures.append(
+                f"{label}: current wall_seconds is non-positive — a perf "
+                f"counter was dropped somewhere upstream")
+            print(f"{label:<44} {base_rps:>12.0f} {'BAD WALL':>12} {'-':>7}")
+            continue
+        ratio = cur_rps / base_rps
         flag = ""
         if ratio < 1.0 - args.tolerance:
             failures.append(
@@ -83,6 +125,13 @@ def main():
             flag = "  << REGRESSION"
         print(f"{label:<44} {base_rps:>12.0f} {cur_rps:>12.0f} "
               f"{ratio:>7.2f}{flag}")
+
+    if args.current_obs:
+        error = check_obs_snapshot(args.current_obs)
+        if error is not None:
+            print(f"check_bench_regression: {error}", file=sys.stderr)
+            return 2
+        print(f"obs snapshot {args.current_obs} OK")
 
     if failures:
         print(f"\nthroughput regression gate FAILED "

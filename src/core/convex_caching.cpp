@@ -66,6 +66,7 @@ void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
   const std::size_t window = time / options_.window_length;
   if (window == current_window_) return;
   current_window_ = window;
+  ++counters_.window_rollovers;
   // New accounting window: every tenant's miss count restarts at zero, so
   // every marginal — and therefore every budget — re-bases.
   std::fill(evictions_.begin(), evictions_.end(), 0);

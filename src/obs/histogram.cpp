@@ -1,0 +1,111 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ccc::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = msb - kSubBucketBits;
+  const std::uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
+  return static_cast<std::size_t>(
+      ((static_cast<std::uint64_t>(msb - kSubBucketBits) + 1)
+       << kSubBucketBits) + sub);
+}
+
+std::uint64_t Histogram::bucket_low(std::size_t index) noexcept {
+  if (index < kSubBucketCount) return index;
+  const unsigned range = static_cast<unsigned>(index >> kSubBucketBits);
+  const std::uint64_t sub = index & (kSubBucketCount - 1);
+  return (kSubBucketCount + sub) << (range - 1);
+}
+
+std::uint64_t Histogram::bucket_high(std::size_t index) noexcept {
+  if (index < kSubBucketCount) return index;
+  const unsigned range = static_cast<unsigned>(index >> kSubBucketBits);
+  return bucket_low(index) + ((std::uint64_t{1} << (range - 1)) - 1);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  // Skip the RMW when it would be a no-op — zero is the common case for
+  // work histograms of index-less policies.
+  if (value != 0) sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_)
+    total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  // Count comes from the bucket reads themselves, so the snapshot is
+  // self-consistent even when racing writers.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t lo = min_.load(std::memory_order_relaxed);
+  snap.min = total == 0 ? 0 : lo;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based: the smallest value v such that
+  // at least ceil(q·count) samples are ≤ v.
+  const auto target = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      const std::uint64_t low = Histogram::bucket_low(i);
+      const std::uint64_t high = Histogram::bucket_high(i);
+      const std::uint64_t mid = low + (high - low) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;  // unreachable when buckets/count agree
+}
+
+}  // namespace ccc::obs

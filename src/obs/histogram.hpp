@@ -1,0 +1,103 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Lock-free fixed-bucket log-linear histograms (HdrHistogram-style)
+///        for latency and work distributions.
+///
+/// Values are non-negative 64-bit integers (nanoseconds, heap pops, bytes —
+/// whatever the caller counts). The bucket layout is log-linear: values
+/// below 2^kSubBucketBits land in their own exact bucket; above that, each
+/// power-of-two range is divided into 2^kSubBucketBits linear sub-buckets,
+/// so every recorded value is represented with relative error at most
+/// 2^-kSubBucketBits (6.25% with the default 4 bits) using a fixed ~1k
+/// buckets over the full 64-bit range — no allocation, ever.
+///
+/// record() is two relaxed atomic adds — bucket and sum — plus relaxed
+/// min/max CAS loops that only fire when the extremum moves, so any number
+/// of threads — e.g. all shards of a
+/// ShardedCache sharing one SimObserver — can record concurrently without
+/// locks. Histograms merge bucket-wise like `Metrics::merge`; merging is
+/// exact (integer adds), hence associative and commutative, which the
+/// tests assert.
+///
+/// Reading while writers are active gives a torn-but-sane view (each
+/// bucket individually consistent); take a snapshot() for quantiles.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ccc::obs {
+
+/// Immutable copy of a histogram's state; quantile queries live here so
+/// they operate on one consistent view.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+
+  /// Value at quantile `q` in [0,1] — the representative (midpoint) value
+  /// of the bucket holding the ceil(q·count)-th smallest sample, clamped
+  /// to the observed [min, max]. Relative error bounded by the bucket
+  /// width (≤ 2^-kSubBucketBits). Returns 0 on an empty snapshot.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per power-of-two range (and the exact-value range
+  /// below 2^kSubBucketBits).
+  static constexpr unsigned kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBucketCount = 1ULL << kSubBucketBits;
+  /// Total bucket count covering every uint64 value.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>((64 - kSubBucketBits) * kSubBucketCount)
+      + kSubBucketCount;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index of `value` — exact below kSubBucketCount, log-linear
+  /// above. Branch + shift + mask; no loops.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept;
+
+  /// Inclusive [low, high] value range represented by bucket `index`.
+  [[nodiscard]] static std::uint64_t bucket_low(std::size_t index) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_high(std::size_t index) noexcept;
+
+  /// Records one value. Wait-free: relaxed increment + bounded CAS loops.
+  void record(std::uint64_t value) noexcept;
+
+  /// Adds `other`'s state into this histogram (cross-shard aggregation).
+  /// Exact, associative, commutative. `other` may be concurrently written;
+  /// each of its buckets is read once.
+  void merge(const Histogram& other) noexcept;
+
+  /// Consistent copy for quantile queries and exposition. Safe to call
+  /// concurrently with writers (the copy is torn only across buckets).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Total recorded values, derived by summing the buckets — O(kBucketCount)
+  /// loads, so an accessor for reporting, not for hot paths. Keeping no
+  /// separate count atomic saves one RMW per record().
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace ccc::obs

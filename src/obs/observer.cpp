@@ -1,0 +1,111 @@
+#include "obs/observer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccc::obs {
+
+SimObserver::SimObserver(SimObserverOptions options) : options_(options) {
+  options_.latency_sample_period =
+      std::max<std::uint64_t>(1, options_.latency_sample_period);
+}
+
+void SimObserver::on_step(const StepEvent& event, std::uint64_t latency_ns,
+                          const PerfCounters& before,
+                          const PerfCounters& after) {
+  // `requests` delta, not +1: on_step only fires on eviction and sampled
+  // steps; the delta covers the skipped hit steps in between.
+  steps_.fetch_add(after.requests - before.requests,
+                   std::memory_order_relaxed);
+  if (latency_ns != 0) step_latency_ns_.record(latency_ns);
+
+  if (event.victim.has_value()) {
+    // Index work billed to this eviction: pops + stale skips this step.
+    const std::uint64_t work = (after.heap_pops - before.heap_pops) +
+                               (after.stale_skips - before.stale_skips);
+    eviction_index_work_.record(work);
+    if (options_.trace != nullptr)
+      options_.trace->complete_event(
+          "eviction", "cache", options_.trace->now_us(), latency_ns / 1000,
+          {{"victim_page", *event.victim},
+           {"victim_tenant", event.victim_owner.value_or(0)},
+           {"index_work", work}});
+  }
+
+  const std::uint64_t rollovers =
+      after.window_rollovers - before.window_rollovers;
+  if (rollovers != 0) {
+    rollovers_.fetch_add(rollovers, std::memory_order_relaxed);
+    if (options_.trace != nullptr)
+      options_.trace->instant_event("window_rollover", "cache",
+                                    options_.trace->now_us(),
+                                    {{"tenant", event.request.tenant}});
+  }
+  const std::uint64_t rebuilds = after.index_rebuilds - before.index_rebuilds;
+  if (rebuilds != 0) {
+    rebuilds_.fetch_add(rebuilds, std::memory_order_relaxed);
+    if (options_.trace != nullptr)
+      options_.trace->complete_event("index_rebuild", "index",
+                                     options_.trace->now_us(),
+                                     latency_ns / 1000, {});
+  }
+}
+
+void SimObserver::on_rebalance(std::span<const std::size_t> before,
+                               std::span<const std::size_t> after,
+                               std::uint64_t duration_ns) {
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace != nullptr)
+    options_.trace->complete_event(
+        "shard_rebalance", "shard", options_.trace->now_us(),
+        duration_ns / 1000,
+        {{"shards", after.size()},
+         {"moved_pages",
+          std::inner_product(
+              before.begin(), before.end(), after.begin(), std::uint64_t{0},
+              std::plus<>{},
+              [](std::size_t a, std::size_t b) {
+                return static_cast<std::uint64_t>(a > b ? a - b : b - a);
+              }) /
+              2}});
+}
+
+void SimObserver::merge(const SimObserver& other) noexcept {
+  step_latency_ns_.merge(other.step_latency_ns_);
+  eviction_index_work_.merge(other.eviction_index_work_);
+  steps_.fetch_add(other.steps_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  rollovers_.fetch_add(other.rollovers_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  rebuilds_.fetch_add(other.rebuilds_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  rebalances_.fetch_add(other.rebalances_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
+void SimObserver::fill(MetricsRegistry& registry, const LabelSet& extra)
+    const {
+  registry.set_histogram(
+      "ccc_step_latency_ns",
+      "Wall-clock nanoseconds per simulator step (sampled)", extra,
+      step_latency_ns_.snapshot());
+  registry.set_histogram(
+      "ccc_eviction_index_work",
+      "Heap pops + stale skips charged to one eviction", extra,
+      eviction_index_work_.snapshot());
+  registry.set_counter("ccc_obs_steps_total", "Steps observed", extra,
+                       static_cast<double>(steps_observed()));
+  registry.set_counter("ccc_obs_evictions_total", "Evictions observed",
+                       extra, static_cast<double>(evictions_observed()));
+  registry.set_counter("ccc_obs_window_rollovers_total",
+                       "Window rollovers observed", extra,
+                       static_cast<double>(rollovers_observed()));
+  registry.set_counter("ccc_obs_index_rebuilds_total",
+                       "Index rebuilds observed", extra,
+                       static_cast<double>(rebuilds_observed()));
+  registry.set_counter("ccc_obs_rebalances_total",
+                       "Shard rebalances observed", extra,
+                       static_cast<double>(rebalances_observed()));
+}
+
+}  // namespace ccc::obs

@@ -1,0 +1,110 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Named counter/gauge/histogram registry with Prometheus
+///        text-exposition and JSON writers.
+///
+/// The registry is a *snapshot* container, not a live instrumentation
+/// surface: the hot path records into lock-free `Histogram`s and plain
+/// counters owned by `SimObserver`; at exposition time a snapshot of
+/// everything — per-tenant hits/misses/cost, per-shard capacity/residency,
+/// all `PerfCounters`, the histograms — is dumped into a registry and
+/// serialized. That keeps string handling and maps entirely off the
+/// request path.
+///
+/// Families are emitted in registration order. Within a family, samples
+/// keep insertion order too, so output is deterministic and diffable.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "sim/metrics.hpp"
+
+namespace ccc {
+class ShardedCache;
+}  // namespace ccc
+
+namespace ccc::obs {
+
+/// Ordered label set, e.g. {{"tenant","3"},{"policy","convex"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct ScalarSample {
+  LabelSet labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  LabelSet labels;
+  HistogramSnapshot snapshot;
+};
+
+/// One named metric family: all samples of one name share a kind and help.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<ScalarSample> scalars;       ///< counter/gauge samples
+  std::vector<HistogramSample> histograms; ///< histogram samples
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds a sample to the named family, creating it on first use. A name
+  /// must keep one kind for its lifetime (throws std::invalid_argument on
+  /// a kind clash — Prometheus rejects mixed families).
+  void set_counter(const std::string& name, const std::string& help,
+                   LabelSet labels, double value);
+  void set_gauge(const std::string& name, const std::string& help,
+                 LabelSet labels, double value);
+  void set_histogram(const std::string& name, const std::string& help,
+                     LabelSet labels, HistogramSnapshot snapshot);
+
+  [[nodiscard]] const std::vector<MetricFamily>& families() const noexcept {
+    return families_;
+  }
+  /// The family registered under `name`, or nullptr.
+  [[nodiscard]] const MetricFamily* find(const std::string& name) const;
+
+  /// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` headers,
+  /// one line per sample; histograms expand to cumulative `_bucket{le=}`
+  /// lines plus `_sum` and `_count`. Only non-empty buckets up to the
+  /// highest occupied one are listed (plus the mandatory `+Inf`).
+  void write_prometheus(std::ostream& os) const;
+
+  /// JSON document: {"metrics":[{name, kind, help, samples:[...]}]}.
+  /// Histogram samples carry count/sum/min/max/mean, p50/p90/p99/p999 and
+  /// the non-empty buckets as [upper_bound, count] pairs.
+  void write_json(std::ostream& os) const;
+
+ private:
+  MetricFamily& family(const std::string& name, const std::string& help,
+                       MetricKind kind);
+
+  std::vector<MetricFamily> families_;
+};
+
+/// Per-tenant books: hits/misses/evictions counters and — when `costs` is
+/// non-null — each tenant's share f_i(misses_i) of the paper objective,
+/// all labeled {tenant=}. `extra` labels are appended to every sample.
+void snapshot_metrics(MetricsRegistry& registry, const Metrics& metrics,
+                      const std::vector<CostFunctionPtr>* costs,
+                      const LabelSet& extra = {});
+
+/// Every PerfCounters field as a counter (wall_seconds as a gauge in
+/// seconds), labeled with `extra`.
+void snapshot_perf(MetricsRegistry& registry, const PerfCounters& perf,
+                   const LabelSet& extra = {});
+
+/// Per-shard capacity/residency/hits/misses/evictions gauges {shard=},
+/// the aggregated per-tenant books and the aggregated PerfCounters of a
+/// sharded frontend.
+void snapshot_sharded(MetricsRegistry& registry, const ShardedCache& cache,
+                      const LabelSet& extra = {});
+
+}  // namespace ccc::obs

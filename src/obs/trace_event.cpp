@@ -1,0 +1,128 @@
+#include "obs/trace_event.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/string_util.hpp"
+
+namespace ccc::obs {
+
+namespace {
+
+/// Stable small id for the calling thread ("tid" field).
+std::uint64_t thread_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu;
+}
+
+}  // namespace
+
+TraceEventWriter::TraceEventWriter(std::ostream& os, std::uint64_t max_events)
+    : os_(&os), start_(std::chrono::steady_clock::now()),
+      max_events_(max_events) {
+  *os_ << "[";
+}
+
+TraceEventWriter::TraceEventWriter(const std::string& path,
+                                   std::uint64_t max_events)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      os_(owned_.get()), start_(std::chrono::steady_clock::now()),
+      max_events_(max_events) {
+  if (!*os_)
+    throw std::runtime_error("CCC_OBS_TRACE: cannot write trace file " +
+                             path);
+  *os_ << "[";
+}
+
+std::unique_ptr<TraceEventWriter> TraceEventWriter::from_env() {
+  const char* path = std::getenv("CCC_OBS_TRACE");
+  if (path == nullptr || *path == '\0') return nullptr;
+  return std::make_unique<TraceEventWriter>(std::string(path));
+}
+
+TraceEventWriter::~TraceEventWriter() { finish(); }
+
+std::uint64_t TraceEventWriter::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::uint64_t TraceEventWriter::emitted() const noexcept { return emitted_; }
+
+std::uint64_t TraceEventWriter::dropped() const noexcept { return dropped_; }
+
+bool TraceEventWriter::admit_locked() {
+  if (finished_) return false;
+  if (emitted_ >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  ++emitted_;
+  if (!first_) *os_ << ",";
+  first_ = false;
+  *os_ << "\n";
+  return true;
+}
+
+void TraceEventWriter::write_prefix(std::string_view name,
+                                    std::string_view category, char phase,
+                                    std::uint64_t ts_us) {
+  *os_ << "{\"name\": \"" << json_escape(name) << "\", \"cat\": \""
+       << json_escape(category) << "\", \"ph\": \"" << phase
+       << "\", \"ts\": " << ts_us << ", \"pid\": 1, \"tid\": "
+       << thread_tid();
+}
+
+void TraceEventWriter::write_args_and_close(Args args) {
+  *os_ << ", \"args\": {";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) *os_ << ", ";
+    first = false;
+    *os_ << '"' << json_escape(key) << "\": " << value;
+  }
+  *os_ << "}}";
+}
+
+void TraceEventWriter::complete_event(std::string_view name,
+                                      std::string_view category,
+                                      std::uint64_t ts_us,
+                                      std::uint64_t dur_us, Args args) {
+  const std::lock_guard lock(mutex_);
+  if (!admit_locked()) return;
+  write_prefix(name, category, 'X', ts_us);
+  *os_ << ", \"dur\": " << dur_us;
+  write_args_and_close(args);
+}
+
+void TraceEventWriter::instant_event(std::string_view name,
+                                     std::string_view category,
+                                     std::uint64_t ts_us, Args args) {
+  const std::lock_guard lock(mutex_);
+  if (!admit_locked()) return;
+  write_prefix(name, category, 'i', ts_us);
+  *os_ << ", \"s\": \"t\"";
+  write_args_and_close(args);
+}
+
+void TraceEventWriter::finish() {
+  const std::lock_guard lock(mutex_);
+  if (finished_) return;
+  // Truncation is recorded in-band so a capped trace is self-describing.
+  if (dropped_ > 0) {
+    if (!first_) *os_ << ",";
+    *os_ << "\n{\"name\": \"trace_truncated\", \"cat\": \"obs\", "
+         << "\"ph\": \"i\", \"ts\": " << now_us()
+         << ", \"pid\": 1, \"tid\": 0, \"s\": \"g\", \"args\": {\"dropped\": "
+         << dropped_ << "}}";
+    first_ = false;
+  }
+  *os_ << "\n]\n";
+  os_->flush();
+  finished_ = true;
+}
+
+}  // namespace ccc::obs

@@ -1,0 +1,92 @@
+#pragma once
+/// \file trace_event.hpp
+/// \brief Chrome `trace_event` JSON span exporter (chrome://tracing /
+///        Perfetto "JSON Array Format").
+///
+/// Opt-in: `TraceEventWriter::from_env()` returns a writer only when the
+/// `CCC_OBS_TRACE` environment variable names an output path, so ordinary
+/// runs never pay for span serialization. `SimObserver` feeds it spans for
+/// evictions, window rollovers, index rebuilds and shard rebalances; load
+/// the file in chrome://tracing or ui.perfetto.dev to see the eviction
+/// cascade on a timeline.
+///
+/// Event timestamps are microseconds since writer construction (steady
+/// clock). Writes are mutex-serialized — tracing is a debugging tool, not
+/// a hot-path fixture — and capped at `max_events` (dropped spans are
+/// counted and recorded as a final metadata event so truncation is never
+/// silent).
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ccc::obs {
+
+class TraceEventWriter {
+ public:
+  /// Key/value pairs attached to an event's "args" object.
+  using Args =
+      std::initializer_list<std::pair<std::string_view, std::uint64_t>>;
+
+  /// Writes the event stream to `os` (kept alive by the caller).
+  explicit TraceEventWriter(std::ostream& os,
+                            std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Opens `path` and owns the stream; throws std::runtime_error when the
+  /// file cannot be created.
+  explicit TraceEventWriter(const std::string& path,
+                            std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Reads `CCC_OBS_TRACE`; empty/unset returns nullptr (tracing off).
+  [[nodiscard]] static std::unique_ptr<TraceEventWriter> from_env();
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+  ~TraceEventWriter();
+
+  /// Complete event ("ph":"X"): a span of `dur_us` microseconds starting
+  /// at `ts_us`.
+  void complete_event(std::string_view name, std::string_view category,
+                      std::uint64_t ts_us, std::uint64_t dur_us, Args args);
+
+  /// Instant event ("ph":"i", thread scope).
+  void instant_event(std::string_view name, std::string_view category,
+                     std::uint64_t ts_us, Args args);
+
+  /// Microseconds elapsed since the writer was constructed.
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  /// Events accepted so far (diagnostics/tests).
+  [[nodiscard]] std::uint64_t emitted() const noexcept;
+  /// Events rejected by the cap.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Closes the JSON array (also done by the destructor; idempotent).
+  void finish();
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 1ULL << 20;
+
+ private:
+  void write_prefix(std::string_view name, std::string_view category,
+                    char phase, std::uint64_t ts_us);
+  void write_args_and_close(Args args);
+  [[nodiscard]] bool admit_locked();
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t max_events_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+}  // namespace ccc::obs

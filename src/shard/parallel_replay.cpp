@@ -38,6 +38,7 @@ ParallelReplayResult ParallelReplayer::replay(const Trace& trace,
   ParallelReplayResult result;
   result.metrics = cache.aggregated_metrics();
   result.perf = cache.aggregated_perf();
+  result.shard_seconds = result.perf.wall_seconds;
   result.perf.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   result.shard_requests.reserve(num_shards);

@@ -29,7 +29,14 @@ struct ParallelReplayOptions {
 
 struct ParallelReplayResult {
   Metrics metrics{1};            ///< aggregated across shards
-  PerfCounters perf;             ///< aggregated; wall_seconds = parallel section
+  /// Aggregated counters. `perf.wall_seconds` is the *elapsed* time of the
+  /// parallel section (what throughput is computed from); the summed
+  /// per-shard processing time that ShardedCache::aggregated_perf reports
+  /// is preserved in `shard_seconds` below.
+  PerfCounters perf;
+  /// Σ over shards of in-lock processing time. shard_seconds / (threads ×
+  /// perf.wall_seconds) is the parallel efficiency of the replay.
+  double shard_seconds = 0.0;
   double miss_cost = 0.0;        ///< Σ_i f_i(misses_i); 0 without cost functions
   std::vector<std::uint64_t> shard_requests;  ///< trace share per shard
 };

@@ -1,6 +1,7 @@
 #include "shard/sharded_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "core/convex_caching.hpp"
@@ -9,6 +10,12 @@
 namespace ccc {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
 
 /// SplitMix64 finalizer. PageIds carry the owning tenant in their high bits
 /// (types.hpp), so an unmixed `page % S` would correlate shard choice with
@@ -89,6 +96,7 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
     CCC_CHECK(shard->policy != nullptr, "policy factory returned null");
     SimOptions sim_options;
     sim_options.seed = options_.seed + s;
+    sim_options.step_observer = options_.step_observer;
     shard->session = std::make_unique<SimulatorSession>(
         split[s], options_.num_tenants, *shard->policy, costs_, sim_options);
     shards_.push_back(std::move(shard));
@@ -102,14 +110,19 @@ std::size_t ShardedCache::shard_of(PageId page) const noexcept {
 StepEvent ShardedCache::access(const Request& request) {
   Shard& shard = *shards_[shard_of(request.page)];
   const std::lock_guard lock(shard.mutex);
-  return shard.session->step(request);
+  const auto start = SteadyClock::now();
+  StepEvent event = shard.session->step(request);
+  shard.wall_seconds += seconds_since(start);
+  return event;
 }
 
 void ShardedCache::access_batch(std::span<const Request> batch) {
   if (shards_.size() == 1) {
     Shard& shard = *shards_[0];
     const std::lock_guard lock(shard.mutex);
+    const auto start = SteadyClock::now();
     for (const Request& request : batch) (void)shard.session->step(request);
+    shard.wall_seconds += seconds_since(start);
     return;
   }
   // Group by shard without reordering within a group: bucket the request
@@ -121,13 +134,28 @@ void ShardedCache::access_batch(std::span<const Request> batch) {
     if (groups[s].empty()) continue;
     Shard& shard = *shards_[s];
     const std::lock_guard lock(shard.mutex);
+    const auto start = SteadyClock::now();
     for (const std::size_t i : groups[s]) (void)shard.session->step(batch[i]);
+    shard.wall_seconds += seconds_since(start);
   }
 }
 
 void ShardedCache::access_batch(std::span<const Request> batch,
                                 std::vector<StepEvent>& events) {
-  events.reserve(events.size() + batch.size());
+  // Events land at their request's original index, so callers can always
+  // match events[base + i] to batch[i] no matter how the batch was split
+  // across shards.
+  const std::size_t base = events.size();
+  events.resize(base + batch.size());
+  if (shards_.size() == 1) {
+    Shard& shard = *shards_[0];
+    const std::lock_guard lock(shard.mutex);
+    const auto start = SteadyClock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      events[base + i] = shard.session->step(batch[i]);
+    shard.wall_seconds += seconds_since(start);
+    return;
+  }
   std::vector<std::vector<std::size_t>> groups(shards_.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
     groups[shard_of(batch[i].page)].push_back(i);
@@ -135,8 +163,10 @@ void ShardedCache::access_batch(std::span<const Request> batch,
     if (groups[s].empty()) continue;
     Shard& shard = *shards_[s];
     const std::lock_guard lock(shard.mutex);
+    const auto start = SteadyClock::now();
     for (const std::size_t i : groups[s])
-      events.push_back(shard.session->step(batch[i]));
+      events[base + i] = shard.session->step(batch[i]);
+    shard.wall_seconds += seconds_since(start);
   }
 }
 
@@ -153,12 +183,11 @@ PerfCounters ShardedCache::aggregated_perf() const {
   PerfCounters total;
   for (const auto& shard : shards_) {
     const std::lock_guard lock(shard->mutex);
-    const PerfCounters perf = shard->session->perf_counters();
-    total.requests += perf.requests;
-    total.evictions += perf.evictions;
-    total.heap_pops += perf.heap_pops;
-    total.stale_skips += perf.stale_skips;
-    total.index_rebuilds += perf.index_rebuilds;
+    PerfCounters perf = shard->session->perf_counters();
+    // The session leaves wall_seconds to its driver; this frontend *is*
+    // the driver and accumulated the in-lock processing time per shard.
+    perf.wall_seconds = shard->wall_seconds;
+    total.merge(perf);
   }
   return total;
 }
@@ -228,10 +257,22 @@ void ShardedCache::rebalance() {
   }
   CCC_REQUIRE(sum == options_.capacity,
               "rebalance hook changed the total capacity");
+#ifdef CCC_OBS_ENABLED
+  const std::vector<std::size_t> before =
+      options_.step_observer != nullptr ? capacities()
+                                        : std::vector<std::size_t>{};
+  const auto start = SteadyClock::now();
+#endif
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::lock_guard lock(shards_[s]->mutex);
     shards_[s]->session->resize(split[s]);
   }
+#ifdef CCC_OBS_ENABLED
+  if (options_.step_observer != nullptr)
+    options_.step_observer->on_rebalance(
+        before, split,
+        static_cast<std::uint64_t>(seconds_since(start) * 1e9));
+#endif
 }
 
 const SimulatorSession& ShardedCache::shard_session(std::size_t shard) const {

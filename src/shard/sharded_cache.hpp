@@ -65,6 +65,11 @@ struct ShardedCacheOptions {
   std::uint64_t seed = 1;      ///< shard s seeds its policy with seed + s
   /// Capacity floor per shard enforced by the default rebalancer.
   std::size_t min_shard_capacity = 1;
+  /// Optional observability hook, shared by *all* shards — it must be
+  /// thread-safe (obs::SimObserver is: lock-free histograms, mutexed trace
+  /// writer). Requires a `CCC_OBS=ON` build; the per-shard session
+  /// constructors throw otherwise, so observation is never silently lost.
+  StepObserver* step_observer = nullptr;
 };
 
 /// Per-shard observability snapshot (inputs to rebalancing decisions).
@@ -109,8 +114,10 @@ class ShardedCache {
   void access_batch(std::span<const Request> batch);
 
   /// As above, additionally appending one StepEvent per request to
-  /// `events`, grouped by ascending shard id and in batch order within a
-  /// shard (with one shard this is exactly the batch order).
+  /// `events` *in batch order*: after the call, `events[old_size + i]` is
+  /// the outcome of `batch[i]` regardless of how the requests were grouped
+  /// across shards. (Events used to come back shard-grouped, which made it
+  /// impossible for callers to match an event to its request.)
   void access_batch(std::span<const Request> batch,
                     std::vector<StepEvent>& events);
 
@@ -131,8 +138,16 @@ class ShardedCache {
   /// its own share.
   [[nodiscard]] Metrics aggregated_metrics() const;
 
-  /// Index/work counters summed across shards (wall_seconds stays zero —
-  /// the replay driver owns the clock).
+  /// Index/work counters summed across shards via PerfCounters::merge —
+  /// every field, including wall-clock. Each shard accumulates the time
+  /// spent processing its requests under its own lock, so the aggregated
+  /// `wall_seconds` is the **sum of per-shard processing time**: under a
+  /// serial replay it equals the elapsed request-loop time; under a
+  /// parallel replay it is the combined CPU-side shard time, an upper
+  /// bound on the elapsed wall-clock (ParallelReplayer measures elapsed
+  /// time around its parallel section and reports that separately).
+  /// Either way `ns_per_request()` on the aggregate is meaningful — it is
+  /// the average per-request processing cost inside the shard locks.
   [[nodiscard]] PerfCounters aggregated_perf() const;
 
   /// Σ_i f_i(Σ_s misses_{i,s}) under the constructor's cost functions;
@@ -141,6 +156,12 @@ class ShardedCache {
 
   /// Whether the constructor received per-tenant cost functions.
   [[nodiscard]] bool has_costs() const noexcept { return costs_ != nullptr; }
+
+  /// The constructor's per-tenant cost functions (nullptr when absent) —
+  /// read by the obs snapshot helpers to price per-tenant misses.
+  [[nodiscard]] const std::vector<CostFunctionPtr>* costs() const noexcept {
+    return costs_;
+  }
 
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   [[nodiscard]] std::vector<std::size_t> capacities() const;
@@ -163,6 +184,10 @@ class ShardedCache {
   struct Shard {
     std::unique_ptr<ReplacementPolicy> policy;
     std::unique_ptr<SimulatorSession> session;
+    /// Time spent processing this shard's requests (guarded by `mutex`;
+    /// timed per access() call / per batch group, so batched ingestion
+    /// amortizes the clock reads). Summed by aggregated_perf().
+    double wall_seconds = 0.0;
     mutable std::mutex mutex;
   };
 

@@ -6,6 +6,16 @@
 
 namespace ccc {
 
+void PerfCounters::merge(const PerfCounters& other) noexcept {
+  requests += other.requests;
+  evictions += other.evictions;
+  heap_pops += other.heap_pops;
+  stale_skips += other.stale_skips;
+  index_rebuilds += other.index_rebuilds;
+  window_rollovers += other.window_rollovers;
+  wall_seconds += other.wall_seconds;
+}
+
 double PerfCounters::ns_per_request() const noexcept {
   if (requests == 0) return 0.0;
   return wall_seconds * 1e9 / static_cast<double>(requests);

@@ -28,7 +28,17 @@ struct PerfCounters {
   std::uint64_t heap_pops = 0;       ///< entries popped from index heaps
   std::uint64_t stale_skips = 0;     ///< popped entries that were stale
   std::uint64_t index_rebuilds = 0;  ///< full index rebuilds (window/compact)
+  std::uint64_t window_rollovers = 0;  ///< accounting-window boundary crossings
   double wall_seconds = 0.0;         ///< wall-clock time of the request loop
+
+  /// Adds another run's counters into this one — *every* field, including
+  /// `wall_seconds` (dropping it is exactly the aggregation bug this method
+  /// exists to prevent). Summed wall-clock means "total processing time
+  /// across the merged runs": for runs executed back to back it equals the
+  /// elapsed time; for runs executed in parallel it is the combined
+  /// CPU-side time, an upper bound on the elapsed wall-clock (which the
+  /// parallel driver measures around its own section and overwrites).
+  void merge(const PerfCounters& other) noexcept;
 
   /// Nanoseconds of wall-clock per request (0 when nothing ran).
   [[nodiscard]] double ns_per_request() const noexcept;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/check.hpp"
@@ -12,7 +13,7 @@ SimulatorSession::SimulatorSession(std::size_t capacity,
                                    const std::vector<CostFunctionPtr>* costs,
                                    SimOptions options)
     : cache_(capacity), metrics_(num_tenants), policy_(policy),
-      auditor_(options.auditor) {
+      auditor_(options.auditor), observer_(options.step_observer) {
   if (costs != nullptr)
     CCC_REQUIRE(costs->size() >= num_tenants,
                 "need one cost function per tenant");
@@ -20,6 +21,17 @@ SimulatorSession::SimulatorSession(std::size_t capacity,
   CCC_REQUIRE(auditor_ == nullptr,
               "SimOptions.auditor needs a build with -DCCC_AUDIT=ON "
               "(audit hooks are compiled out of this binary)");
+#endif
+#ifdef CCC_OBS_ENABLED
+  if (observer_ != nullptr) {
+    observer_period_ = std::max<std::uint64_t>(
+        1, observer_->latency_sample_period());
+    observer_countdown_ = 1;  // time the very first step
+  }
+#else
+  CCC_REQUIRE(observer_ == nullptr,
+              "SimOptions.step_observer needs a build with -DCCC_OBS=ON "
+              "(observability hooks are compiled out of this binary)");
 #endif
   PolicyContext ctx;
   ctx.capacity = capacity;
@@ -34,6 +46,50 @@ SimulatorSession::SimulatorSession(std::size_t capacity,
 }
 
 StepEvent SimulatorSession::step(const Request& request) {
+#ifdef CCC_OBS_ENABLED
+  if (observer_ != nullptr) return step_observed(request);
+#endif
+  return step_impl(request);
+}
+
+StepEvent SimulatorSession::step_observed(const Request& request) {
+#ifdef CCC_OBS_ENABLED
+  // The observer is invoked only on eviction steps and latency-sampled
+  // steps; a hit-path step pays one countdown decrement and a branch.
+  // `observer_last_` carries the policy counters from the previous
+  // invocation, so deltas bracket the whole gap and counter totals stay
+  // exact. Per-eviction index work stays exact too: heap_pops and
+  // stale_skips only move on eviction steps, every one of which is
+  // observed. (The *policy's* counters, not the session-level
+  // perf_counters() — that one derives its evictions field by summing
+  // per-tenant metrics, which is O(tenants) and ruinous per step.)
+  std::uint64_t latency_ns = 0;
+  StepEvent event;
+  const bool sampled = (--observer_countdown_ == 0);
+  if (sampled) {
+    observer_countdown_ = observer_period_;
+    const auto start = std::chrono::steady_clock::now();
+    event = step_impl(request);
+    const auto stop = std::chrono::steady_clock::now();
+    latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+  } else {
+    event = step_impl(request);
+  }
+  if (sampled || event.victim.has_value()) {
+    PerfCounters after = policy_.perf_counters();
+    after.requests = time_;
+    observer_->on_step(event, latency_ns, observer_last_, after);
+    observer_last_ = after;
+  }
+  return event;
+#else
+  return step_impl(request);  // unreachable: attach throws without CCC_OBS
+#endif
+}
+
+StepEvent SimulatorSession::step_impl(const Request& request) {
   CCC_REQUIRE(request.tenant < metrics_.num_tenants(),
               "request tenant out of range");
   StepEvent event;

@@ -6,7 +6,9 @@
 ///        event schedule consumed by the primal–dual machinery and the
 ///        convex-program evaluator.
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/cache_state.hpp"
@@ -54,6 +56,53 @@ class PolicyAuditor {
                           ReplacementPolicy& policy) = 0;
 };
 
+/// Observability hook observed by the simulator (the `src/obs` subsystem
+/// implements it — see `obs::SimObserver`). Like `PolicyAuditor`, the call
+/// sites are compiled behind the `CCC_OBS` CMake option, so a build with
+/// `CCC_OBS=OFF` carries no hook call sites on the request hot path at all,
+/// and attaching an observer to such a build throws instead of silently
+/// recording nothing.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  /// Invoked on every eviction step and on every latency-sampled step
+  /// (see latency_sample_period()); plain hit steps in between are
+  /// skipped so observation stays off the fastest path. `latency_ns` is
+  /// the wall-clock time of this step when it was sampled for timing, 0
+  /// otherwise. `before`/`after` are the *policy's* counters at the
+  /// previous invocation and now (plus `requests` = session time), so
+  /// deltas bracket the whole gap: summing them gives exact totals for
+  /// requests, heap pops, stale skips, rebuilds and rollovers without the
+  /// observer holding per-session state — which is what makes one
+  /// thread-safe observer shareable across shards. Because every eviction
+  /// step is observed and heap_pops/stale_skips only move during
+  /// evictions, the delta on an eviction step is that eviction's exact
+  /// index work. `evictions` and `wall_seconds` are NOT populated here —
+  /// deriving them per step costs O(tenants); use the StepEvent's
+  /// `victim` field and the session's own perf_counters() instead.
+  virtual void on_step(const StepEvent& event, std::uint64_t latency_ns,
+                       const PerfCounters& before,
+                       const PerfCounters& after) = 0;
+
+  /// Sharded frontend control path: the capacity split changed from
+  /// `before` to `after` (one entry per shard) in `duration_ns`.
+  virtual void on_rebalance(std::span<const std::size_t> before,
+                            std::span<const std::size_t> after,
+                            std::uint64_t duration_ns) {
+    (void)before;
+    (void)after;
+    (void)duration_ns;
+  }
+
+  /// Time (two steady_clock reads) only every Nth step; 1 = every step.
+  /// The session caches this at attach time — the clock is the dominant
+  /// observation cost, counters are recorded on every step regardless.
+  [[nodiscard]] virtual std::uint64_t latency_sample_period() const noexcept {
+    return 1;
+  }
+};
+
 struct SimOptions {
   /// Record a StepEvent per request (needed by the invariant checker and
   /// the ICP evaluator; costs memory on long traces).
@@ -62,6 +111,9 @@ struct SimOptions {
   /// Optional runtime-verification hook; requires a `CCC_AUDIT=ON` build
   /// (the session constructor throws otherwise).
   PolicyAuditor* auditor = nullptr;
+  /// Optional observability hook; requires a `CCC_OBS=ON` build (the
+  /// session constructor throws otherwise).
+  StepObserver* step_observer = nullptr;
 };
 
 struct SimResult {
@@ -114,10 +166,23 @@ class SimulatorSession {
   [[nodiscard]] PerfCounters perf_counters() const;
 
  private:
+  /// The unobserved request path — the pre-observability hot loop, byte for
+  /// byte. step() forwards here directly unless a CCC_OBS build has an
+  /// observer attached.
+  StepEvent step_impl(const Request& request);
+  /// The observed wrapper: invokes the observer on eviction steps and
+  /// every `observer_period_`-th (wall-clock-timed) step, passing the
+  /// policy counters accumulated since the previous invocation.
+  StepEvent step_observed(const Request& request);
+
   CacheState cache_;
   Metrics metrics_;
   ReplacementPolicy& policy_;
   PolicyAuditor* auditor_ = nullptr;
+  StepObserver* observer_ = nullptr;
+  std::uint64_t observer_period_ = 1;    ///< cached latency_sample_period()
+  std::uint64_t observer_countdown_ = 1; ///< steps until the next timed one
+  PerfCounters observer_last_;           ///< counters at the last on_step
   TimeStep time_ = 0;
 };
 

@@ -43,6 +43,37 @@ TEST(TotalCost, RequiresEnoughFunctions) {
   EXPECT_THROW((void)total_cost({1, 2}, costs), std::invalid_argument);
 }
 
+// Every PerfCounters field must survive a merge — this was the
+// aggregated_perf() bug, where wall_seconds was silently dropped. The
+// distinct primes make any dropped or cross-wired field show up.
+TEST(PerfCounters, MergeSumsEveryField) {
+  PerfCounters a;
+  a.requests = 2;
+  a.evictions = 3;
+  a.heap_pops = 5;
+  a.stale_skips = 7;
+  a.index_rebuilds = 11;
+  a.window_rollovers = 13;
+  a.wall_seconds = 0.25;
+  PerfCounters b;
+  b.requests = 17;
+  b.evictions = 19;
+  b.heap_pops = 23;
+  b.stale_skips = 29;
+  b.index_rebuilds = 31;
+  b.window_rollovers = 37;
+  b.wall_seconds = 0.5;
+
+  a.merge(b);
+  EXPECT_EQ(a.requests, 19u);
+  EXPECT_EQ(a.evictions, 22u);
+  EXPECT_EQ(a.heap_pops, 28u);
+  EXPECT_EQ(a.stale_skips, 36u);
+  EXPECT_EQ(a.index_rebuilds, 42u);
+  EXPECT_EQ(a.window_rollovers, 50u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+}
+
 TEST(UniformCosts, ClonesPrototype) {
   const MonomialCost proto(2.0, 3.0);
   const auto costs = uniform_costs(proto, 4);

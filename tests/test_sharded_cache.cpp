@@ -258,6 +258,77 @@ TEST(ShardedCache, BatchAndSingleAccessAgreeForAnyShardCount) {
   }
 }
 
+// Regression: aggregated_perf() used to sum every PerfCounters field
+// *except* wall_seconds, so the aggregate always reported 0.0 and every
+// downstream throughput figure derived from it divided by zero.
+TEST(ShardedCache, AggregatedPerfIncludesWallSeconds) {
+  const std::uint32_t tenants = 4;
+  const Trace trace = zipf_trace(tenants, 32, 20000, 61);
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(options_for(32, 4, tenants), make_convex_factory(),
+                     &costs);
+  cache.access_batch(trace.requests());
+
+  const PerfCounters perf = cache.aggregated_perf();
+  EXPECT_EQ(perf.requests, trace.size());
+  EXPECT_GT(perf.wall_seconds, 0.0);
+}
+
+// Regression: the events-collecting access_batch used to append events in
+// shard-grouped order, so callers could not match events[i] back to
+// batch[i]. The contract is now batch order, appended after any existing
+// contents.
+TEST(ShardedCache, BatchEventsComeBackInInputOrder) {
+  const std::uint32_t tenants = 6;
+  const Trace trace = zipf_trace(tenants, 24, 4000, 67);
+  const auto costs = quadratic_costs(tenants);
+
+  for (const std::size_t shards : {1u, 4u}) {
+    ShardedCache cache(options_for(48, shards, tenants),
+                       make_convex_factory(), &costs);
+    std::vector<StepEvent> events;
+    events.resize(3);  // pre-existing contents must be preserved
+    cache.access_batch(trace.requests(), events);
+
+    ASSERT_EQ(events.size(), 3 + trace.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(events[3 + i].request, trace[i])
+          << "shards=" << shards << " i=" << i;
+    }
+  }
+}
+
+// The events overload must report the same outcomes as one-at-a-time
+// access — including through the single-shard fast path.
+TEST(ShardedCache, BatchEventsMatchSingleAccessOutcomes) {
+  const std::uint32_t tenants = 3;
+  const Trace trace = zipf_trace(tenants, 16, 3000, 71);
+  const auto costs = quadratic_costs(tenants);
+
+  for (const std::size_t shards : {1u, 3u}) {
+    ShardedCache one_by_one(options_for(24, shards, tenants),
+                            make_convex_factory(), &costs);
+    std::vector<StepEvent> expected;
+    expected.reserve(trace.size());
+    for (const Request& request : trace)
+      expected.push_back(one_by_one.access(request));
+
+    ShardedCache batched(options_for(24, shards, tenants),
+                         make_convex_factory(), &costs);
+    std::vector<StepEvent> events;
+    batched.access_batch(trace.requests(), events);
+
+    ASSERT_EQ(events.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(events[i].request, expected[i].request);
+      EXPECT_EQ(events[i].hit, expected[i].hit) << "shards=" << shards
+                                                << " i=" << i;
+      EXPECT_EQ(events[i].victim, expected[i].victim);
+      EXPECT_EQ(events[i].victim_owner, expected[i].victim_owner);
+    }
+  }
+}
+
 // ---------------------------------------------------------------- replayer
 
 TEST(ParallelReplayer, ThreadCountDoesNotChangeResults) {
@@ -283,6 +354,23 @@ TEST(ParallelReplayer, ThreadCountDoesNotChangeResults) {
   }
   EXPECT_EQ(miss_vectors[0], miss_vectors[1]);
   EXPECT_EQ(miss_vectors[0], miss_vectors[2]);
+}
+
+TEST(ParallelReplayer, ReportsElapsedAndPerShardTime) {
+  const std::uint32_t tenants = 4;
+  const Trace trace = zipf_trace(tenants, 24, 10000, 19);
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(options_for(48, 4, tenants), make_convex_factory(),
+                     &costs);
+  ParallelReplayOptions options;
+  options.threads = 2;
+  ParallelReplayer replayer(options);
+  const ParallelReplayResult result = replayer.replay(trace, cache);
+  // perf.wall_seconds is the parallel-section elapsed time; shard_seconds
+  // is the sum of per-shard in-lock time, so it can exceed elapsed but
+  // never be zero when work was done.
+  EXPECT_GT(result.perf.wall_seconds, 0.0);
+  EXPECT_GT(result.shard_seconds, 0.0);
 }
 
 TEST(ParallelReplayer, RejectsTraceWithMoreTenantsThanCache) {

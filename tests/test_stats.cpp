@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
+#include <vector>
 
 namespace ccc {
 namespace {
@@ -61,6 +64,72 @@ TEST(RunningStats, MergeWithEmptyIsNoop) {
   RunningStats b;
   b.merge(a);
   EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, RandomizedMergeMatchesBruteForce) {
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<std::size_t> size(0, 200);
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs(size(rng)), ys(size(rng));
+    for (double& x : xs) x = value(rng);
+    for (double& y : ys) y = value(rng);
+
+    RunningStats merged, sequential;
+    RunningStats other;
+    for (const double x : xs) {
+      merged.add(x);
+      sequential.add(x);
+    }
+    for (const double y : ys) {
+      other.add(y);
+      sequential.add(y);
+    }
+    merged.merge(other);
+
+    ASSERT_EQ(merged.count(), xs.size() + ys.size());
+    if (merged.count() == 0) continue;
+    // Brute-force recompute from the raw samples.
+    std::vector<double> all = xs;
+    all.insert(all.end(), ys.begin(), ys.end());
+    double mean = 0.0;
+    for (const double x : all) mean += x;
+    mean /= static_cast<double>(all.size());
+    double m2 = 0.0;
+    for (const double x : all) m2 += (x - mean) * (x - mean);
+    const double variance =
+        all.size() < 2 ? 0.0 : m2 / static_cast<double>(all.size() - 1);
+
+    EXPECT_NEAR(merged.mean(), mean, 1e-6 * (1.0 + std::abs(mean)));
+    EXPECT_NEAR(merged.variance(), variance,
+                1e-6 * (1.0 + std::abs(variance)));
+    EXPECT_DOUBLE_EQ(merged.min(),
+                     *std::min_element(all.begin(), all.end()));
+    EXPECT_DOUBLE_EQ(merged.max(),
+                     *std::max_element(all.begin(), all.end()));
+  }
+}
+
+TEST(Quantile, RandomizedMatchesSortedRankInterpolation) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> value(-100.0, 100.0);
+  std::uniform_real_distribution<double> prob(0.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs(1 + rng() % 100);
+    for (double& x : xs) x = value(rng);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const double q = prob(rng);
+    // Brute-force linear interpolation on the sorted sample.
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double expected =
+        sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    EXPECT_NEAR(quantile(xs, q), expected, 1e-9)
+        << "trial=" << trial << " q=" << q << " n=" << xs.size();
+  }
 }
 
 TEST(RunningStats, Ci95ShrinksWithSamples) {
