@@ -1,8 +1,8 @@
 /// \file e10_sharded.cpp
 /// \brief Experiment E10 — sharded-frontend scaling study.
 ///
-/// Sweeps shard counts × worker threads × cost families over one fixed
-/// Zipf-skewed multi-tenant trace and reports, per cell:
+/// Sweeps shard counts × worker threads × hit paths × cost families over
+/// one fixed Zipf-skewed multi-tenant trace and reports, per cell:
 ///
 ///   - throughput (wall-clock of the parallel replay section, Mreq/s) and
 ///     the speedup over the 1-shard × 1-thread cell of the same family;
@@ -77,6 +77,7 @@ std::vector<CostFunctionPtr> make_costs(const std::string& family,
 
 struct BenchRow {
   std::string cost_family;
+  std::string hitpath;  ///< "locked" or "seqlock"
   std::size_t shards = 0;
   std::size_t threads = 0;
   std::size_t capacity = 0;
@@ -131,6 +132,7 @@ void write_json(const std::string& path, const Cli& cli, std::size_t tenants,
   os << "    \"batch\": " << cli.get_u64("batch") << ",\n";
   os << "    \"shards\": \"" << json_escape(cli.get("shards")) << "\",\n";
   os << "    \"threads\": \"" << json_escape(cli.get("threads")) << "\",\n";
+  os << "    \"hitpaths\": \"" << json_escape(cli.get("hitpaths")) << "\",\n";
   os << "    \"costs\": \"" << json_escape(cli.get("costs")) << "\"\n";
   os << "  },\n";
   os << "  \"unsharded_baselines\": {";
@@ -142,6 +144,7 @@ void write_json(const std::string& path, const Cli& cli, std::size_t tenants,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     os << "    {\"cost\": \"" << json_escape(r.cost_family)
+       << "\", \"hitpath\": \"" << json_escape(r.hitpath)
        << "\", \"shards\": " << r.shards << ", \"threads\": " << r.threads
        << ", \"capacity\": " << r.capacity
        << ", \"requests\": " << r.perf.requests
@@ -155,6 +158,7 @@ void write_json(const std::string& path, const Cli& cli, std::size_t tenants,
        << ", \"shard_seconds\": " << r.shard_seconds
        << ", \"hits\": " << r.hits << ", \"misses\": " << r.misses
        << ", \"evictions\": " << r.perf.evictions
+       << ", \"lockfree_hits\": " << r.perf.lockfree_hits
        << ", \"miss_cost\": " << r.miss_cost
        << ", \"cost_ratio_vs_unsharded\": " << r.cost_ratio << "}"
        << (i + 1 < rows.size() ? ",\n" : "\n");
@@ -173,6 +177,9 @@ int run(int argc, const char* const* argv) {
       "causes vs the unsharded ALG-DISCRETE replay; emits JSON for CI");
   cli.flag("shards", "1,2,4,8", "comma-separated shard counts to sweep")
       .flag("threads", "1,2,4,8", "comma-separated worker thread counts")
+      .flag("hitpaths", "locked",
+            "comma-separated hit paths to sweep: locked,seqlock (seqlock "
+            "serves fresh hits lock-free via the flat residency tables)")
       .flag("costs", "mono2", "cost families: mono2,mono3,linear,sla")
       .flag("tenants", "64", "tenant count")
       .flag("requests", "1000000", "requests per measured run")
@@ -193,6 +200,11 @@ int run(int argc, const char* const* argv) {
   const auto tenants = static_cast<std::uint32_t>(cli.get_u64("tenants"));
   const auto shard_counts = cli.get_u64_list("shards");
   const auto thread_counts = cli.get_u64_list("threads");
+  const auto hitpath_names = split(cli.get("hitpaths"), ',');
+  for (const std::string& name : hitpath_names)
+    if (name != "locked" && name != "seqlock")
+      throw std::invalid_argument("unknown hit path '" + name +
+                                  "'; valid: locked seqlock");
   const auto families = split(cli.get("costs"), ',');
   const auto requests = static_cast<std::size_t>(cli.get_u64("requests"));
   const std::size_t capacity =
@@ -216,8 +228,8 @@ int run(int argc, const char* const* argv) {
 
   std::vector<BenchRow> rows;
   std::vector<std::pair<std::string, double>> baselines;
-  Table table({"cost", "shards", "threads", "ns/req", "Mreq/s", "speedup",
-               "miss_cost", "cost_ratio"});
+  Table table({"cost", "hitpath", "shards", "threads", "ns/req", "Mreq/s",
+               "speedup", "miss_cost", "cost_ratio"});
 
   for (const std::string& family : families) {
     const auto costs = make_costs(family, tenants);
@@ -233,85 +245,92 @@ int run(int argc, const char* const* argv) {
               << reference.perf.ns_per_request() << " ns/req, cost "
               << format_compact(unsharded_cost) << "\n";
 
-    // 1-shard/1-thread wall-clock of this family. Latched on the first
-    // cell exactly once: the old `base_wall == 0.0` re-latch made a later
-    // cell the baseline whenever the first one timed at zero, silently
-    // inflating every speedup in the family.
-    double base_wall = 0.0;
-    bool have_base = false;
-    for (const std::uint64_t s64 : shard_counts) {
-      for (const std::uint64_t t64 : thread_counts) {
-        const auto num_shards = static_cast<std::size_t>(s64);
-        const auto num_threads = static_cast<std::size_t>(t64);
+    for (const std::string& hitpath_name : hitpath_names) {
+      // 1-shard/1-thread wall-clock of this family × hit path. Latched on
+      // the first cell exactly once: the old `base_wall == 0.0` re-latch
+      // made a later cell the baseline whenever the first one timed at
+      // zero, silently inflating every speedup in the family.
+      double base_wall = 0.0;
+      bool have_base = false;
+      for (const std::uint64_t s64 : shard_counts) {
+        for (const std::uint64_t t64 : thread_counts) {
+          const auto num_shards = static_cast<std::size_t>(s64);
+          const auto num_threads = static_cast<std::size_t>(t64);
 
-        ShardedCacheOptions options;
-        options.capacity = capacity;
-        options.num_shards = num_shards;
-        options.num_tenants = tenants;
-        options.seed = cli.get_u64("seed");
-        std::unique_ptr<obs::SimObserver> observer;
-        if (observe) {
-          obs::SimObserverOptions observer_options;
-          observer_options.latency_sample_period = obs_cadence;
-          observer_options.trace = trace_writer.get();
-          observer = std::make_unique<obs::SimObserver>(observer_options);
-          options.step_observer = observer.get();
+          ShardedCacheOptions options;
+          options.capacity = capacity;
+          options.num_shards = num_shards;
+          options.num_tenants = tenants;
+          options.seed = cli.get_u64("seed");
+          options.hit_path = hitpath_name == "seqlock" ? HitPath::kSeqlock
+                                                       : HitPath::kLocked;
+          std::unique_ptr<obs::SimObserver> observer;
+          if (observe) {
+            obs::SimObserverOptions observer_options;
+            observer_options.latency_sample_period = obs_cadence;
+            observer_options.trace = trace_writer.get();
+            observer = std::make_unique<obs::SimObserver>(observer_options);
+            options.step_observer = observer.get();
+          }
+          ShardedCache cache(options, make_convex_factory(), &costs);
+
+          ParallelReplayOptions replay_options;
+          replay_options.threads = num_threads;
+          replay_options.batch_size = batch;
+          ParallelReplayer replayer(replay_options);
+          const ParallelReplayResult result = replayer.replay(trace, cache);
+
+          BenchRow row;
+          row.cost_family = family;
+          row.hitpath = hitpath_name;
+          row.shards = num_shards;
+          row.threads = num_threads;
+          row.capacity = capacity;
+          row.perf = result.perf;
+          row.hits = result.metrics.total_hits();
+          row.misses = result.metrics.total_misses();
+          row.miss_cost = result.miss_cost;
+          row.shard_seconds = result.shard_seconds;
+          if (observer != nullptr) {
+            const obs::LabelSet labels{
+                {"cost", family},
+                {"hitpath", hitpath_name},
+                {"shards", std::to_string(num_shards)},
+                {"threads", std::to_string(num_threads)}};
+            observer->fill(obs_registry, labels);
+            obs::snapshot_perf(obs_registry, result.perf, labels);
+            obs::snapshot_sharded(obs_registry, cache, labels);
+          }
+          if (!have_base) {
+            base_wall = result.perf.wall_seconds;
+            have_base = true;
+            if (base_wall <= 0.0)
+              std::cerr << "warning: " << family
+                        << " baseline cell reported zero wall_seconds; "
+                           "speedups for this family are unreliable\n";
+          }
+          row.speedup =
+              result.perf.wall_seconds > 0.0 && base_wall > 0.0
+                  ? base_wall / result.perf.wall_seconds
+                  : 0.0;
+          row.cost_ratio =
+              unsharded_cost > 0.0 ? row.miss_cost / unsharded_cost : 0.0;
+
+          table.add(family, hitpath_name, num_shards, num_threads,
+                    row.perf.ns_per_request(),
+                    row.perf.wall_seconds > 0.0
+                        ? static_cast<double>(row.perf.requests) /
+                              (row.perf.wall_seconds * 1e6)
+                        : 0.0,
+                    row.speedup, row.miss_cost, row.cost_ratio);
+          std::cout << family << " " << hitpath_name << " S=" << num_shards
+                    << " T=" << num_threads << ": "
+                    << row.perf.ns_per_request() << " ns/req, "
+                    << "speedup " << format_double(row.speedup, 2)
+                    << ", cost ratio " << format_double(row.cost_ratio, 3)
+                    << "\n";
+          rows.push_back(std::move(row));
         }
-        ShardedCache cache(options, make_convex_factory(), &costs);
-
-        ParallelReplayOptions replay_options;
-        replay_options.threads = num_threads;
-        replay_options.batch_size = batch;
-        ParallelReplayer replayer(replay_options);
-        const ParallelReplayResult result = replayer.replay(trace, cache);
-
-        BenchRow row;
-        row.cost_family = family;
-        row.shards = num_shards;
-        row.threads = num_threads;
-        row.capacity = capacity;
-        row.perf = result.perf;
-        row.hits = result.metrics.total_hits();
-        row.misses = result.metrics.total_misses();
-        row.miss_cost = result.miss_cost;
-        row.shard_seconds = result.shard_seconds;
-        if (observer != nullptr) {
-          const obs::LabelSet labels{
-              {"cost", family},
-              {"shards", std::to_string(num_shards)},
-              {"threads", std::to_string(num_threads)}};
-          observer->fill(obs_registry, labels);
-          obs::snapshot_perf(obs_registry, result.perf, labels);
-          obs::snapshot_sharded(obs_registry, cache, labels);
-        }
-        if (!have_base) {
-          base_wall = result.perf.wall_seconds;
-          have_base = true;
-          if (base_wall <= 0.0)
-            std::cerr << "warning: " << family
-                      << " baseline cell reported zero wall_seconds; "
-                         "speedups for this family are unreliable\n";
-        }
-        row.speedup =
-            result.perf.wall_seconds > 0.0 && base_wall > 0.0
-                ? base_wall / result.perf.wall_seconds
-                : 0.0;
-        row.cost_ratio =
-            unsharded_cost > 0.0 ? row.miss_cost / unsharded_cost : 0.0;
-
-        table.add(family, num_shards, num_threads,
-                  row.perf.ns_per_request(),
-                  row.perf.wall_seconds > 0.0
-                      ? static_cast<double>(row.perf.requests) /
-                            (row.perf.wall_seconds * 1e6)
-                      : 0.0,
-                  row.speedup, row.miss_cost, row.cost_ratio);
-        std::cout << family << " S=" << num_shards << " T=" << num_threads
-                  << ": " << row.perf.ns_per_request() << " ns/req, "
-                  << "speedup " << format_double(row.speedup, 2)
-                  << ", cost ratio " << format_double(row.cost_ratio, 3)
-                  << "\n";
-        rows.push_back(std::move(row));
       }
     }
   }

@@ -17,12 +17,24 @@
 /// Scan-based baselines are auto-skipped above `--max-scan-tenants`
 /// (the quadratic blow-up is the point; no need to wait hours for it) and
 /// the skip is recorded in the JSON.
+///
+/// Two pseudo-policies route the trace through a 1-shard ShardedCache
+/// instead of a bare SimulatorSession, measuring the frontend's hit paths
+/// under identical decisions: `sharded-locked` (every request takes the
+/// shard mutex) and `sharded-seqlock` (fresh hits bypass it via the
+/// optimistic flat-table probe). Both are timed externally around the
+/// access loop — the seqlock path deliberately does no per-request
+/// bookkeeping — and after the sweep the harness *asserts* that every
+/// locked/seqlock cell pair produced identical hits/misses/evictions:
+/// the optimistic path must buy speed, never different decisions.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +42,7 @@
 #include "cost/monomial.hpp"
 #include "cost/piecewise_linear.hpp"
 #include "exp/policy_factory.hpp"
+#include "shard/sharded_cache.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
 #include "util/cli.hpp"
@@ -97,6 +110,10 @@ struct BenchRow {
   std::uint64_t misses = 0;
 };
 
+[[nodiscard]] bool is_sharded_policy(const std::string& name) {
+  return name == "sharded-locked" || name == "sharded-seqlock";
+}
+
 void write_json(const std::string& path, const Cli& cli,
                 const std::vector<BenchRow>& rows) {
   std::ostringstream os;
@@ -111,6 +128,7 @@ void write_json(const std::string& path, const Cli& cli,
   os << "    \"skew\": " << cli.get_double("skew") << ",\n";
   os << "    \"seed\": " << cli.get_u64("seed") << ",\n";
   os << "    \"repeats\": " << cli.get_u64("repeats") << ",\n";
+  os << "    \"sharded_batch\": " << cli.get_u64("sharded-batch") << ",\n";
   os << "    \"tenants\": \"" << json_escape(cli.get("tenants")) << "\",\n";
   os << "    \"policies\": \"" << json_escape(cli.get("policies")) << "\",\n";
   os << "    \"costs\": \"" << json_escape(cli.get("costs")) << "\"\n";
@@ -138,7 +156,8 @@ void write_json(const std::string& path, const Cli& cli,
          << ", \"evictions\": " << r.perf.evictions
          << ", \"heap_pops\": " << r.perf.heap_pops
          << ", \"stale_skips\": " << r.perf.stale_skips
-         << ", \"index_rebuilds\": " << r.perf.index_rebuilds << "}";
+         << ", \"index_rebuilds\": " << r.perf.index_rebuilds
+         << ", \"lockfree_hits\": " << r.perf.lockfree_hits << "}";
     }
     os << (i + 1 < rows.size() ? ",\n" : "\n");
   }
@@ -220,6 +239,86 @@ void measure(BenchRow& row, const Trace& trace, std::size_t capacity,
   }
 }
 
+/// Measures one sharded-frontend cell: `repeats` fresh 1-shard
+/// ShardedCaches driven through access_batch() in fixed-size windows
+/// (`batch` requests each; 1 = per-request access()), keeping the
+/// min-wall-clock repeat. Batch submission is the frontend's intended
+/// steady-state interface: it amortises the shard lock and the clock reads
+/// over each locked group, engages the probe-ahead prefetch, and under
+/// kSeqlock lets the optimistic prefix of every group bypass the lock.
+/// Timing is external around the submission loop — under kSeqlock the fast
+/// path does no per-request bookkeeping, so the frontend's internal
+/// wall_seconds covers only the locked residue and would flatter the
+/// optimistic path.
+void measure_sharded(BenchRow& row, const Trace& trace, std::size_t capacity,
+                     const std::vector<CostFunctionPtr>& costs,
+                     HitPath hit_path, std::uint32_t tenants,
+                     std::uint64_t repeats, std::uint64_t seed,
+                     std::size_t batch, StepObserver* observer) {
+  using Clock = std::chrono::steady_clock;
+  bool first = true;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    ShardedCacheOptions options;
+    options.capacity = capacity;
+    options.num_shards = 1;
+    options.num_tenants = tenants;
+    options.seed = seed;
+    options.hit_path = hit_path;
+    options.step_observer = observer;
+    ShardedCache cache(options, nullptr, &costs);
+    const std::span<const Request> requests(trace.requests());
+    const auto start = Clock::now();
+    if (batch <= 1) {
+      for (const Request& request : requests) (void)cache.access(request);
+    } else {
+      for (std::size_t i = 0; i < requests.size(); i += batch)
+        cache.access_batch(
+            requests.subspan(i, std::min(batch, requests.size() - i)));
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    PerfCounters perf = cache.aggregated_perf();
+    perf.wall_seconds = wall;
+    if (first || perf.wall_seconds < row.perf.wall_seconds) {
+      const Metrics metrics = cache.aggregated_metrics();
+      row.perf = perf;
+      row.hits = metrics.total_hits();
+      row.misses = metrics.total_misses();
+      first = false;
+    }
+  }
+}
+
+/// The sharded cells' zero-drift gate: every (cost, tenants) pair measured
+/// on both hit paths must have produced identical books. A divergence means
+/// the optimistic path served a stale hit — a correctness bug, so the
+/// benchmark aborts rather than publish numbers from a broken run.
+void check_hit_path_equivalence(const std::vector<BenchRow>& rows) {
+  for (const BenchRow& locked : rows) {
+    if (locked.policy != "sharded-locked" || locked.skipped) continue;
+    for (const BenchRow& seqlock : rows) {
+      if (seqlock.policy != "sharded-seqlock" || seqlock.skipped) continue;
+      if (seqlock.cost_family != locked.cost_family ||
+          seqlock.tenants != locked.tenants)
+        continue;
+      if (locked.hits != seqlock.hits || locked.misses != seqlock.misses ||
+          locked.perf.evictions != seqlock.perf.evictions)
+        throw std::runtime_error(
+            "hit-path divergence at cost=" + locked.cost_family +
+            " tenants=" + std::to_string(locked.tenants) +
+            ": locked " + std::to_string(locked.hits) + "/" +
+            std::to_string(locked.misses) + "/" +
+            std::to_string(locked.perf.evictions) + " vs seqlock " +
+            std::to_string(seqlock.hits) + "/" +
+            std::to_string(seqlock.misses) + "/" +
+            std::to_string(seqlock.perf.evictions) +
+            " (hits/misses/evictions)");
+      std::cout << "hit-path equivalence OK: cost=" << locked.cost_family
+                << " n=" << locked.tenants << " (cost ratio 1.00)\n";
+    }
+  }
+}
+
 int run(int argc, const char* const* argv) {
   Cli cli(
       "E6 — request throughput of online policies across tenant counts, "
@@ -227,7 +326,9 @@ int run(int argc, const char* const* argv) {
   cli.flag("tenants", "16,256,4096,65536",
            "comma-separated tenant counts to sweep")
       .flag("policies", "convex,convex-scan,lru",
-            "comma-separated policy names (see policy_factory)")
+            "comma-separated policy names (see policy_factory); "
+            "sharded-locked / sharded-seqlock route through a 1-shard "
+            "ShardedCache on the corresponding hit path")
       .flag("costs", "mono2", "cost families: mono2,mono3,linear,sla")
       .flag("requests", "1000000", "requests per measured run")
       .flag("pages-per-tenant", "16", "page universe per tenant")
@@ -248,6 +349,9 @@ int run(int argc, const char* const* argv) {
             "1 = attach a SimObserver to every measured cell and dump "
             "latency/eviction histograms plus all counters next to the "
             "bench JSON (requires a CCC_OBS build; see --obs-cadence)")
+      .flag("sharded-batch", "256",
+            "sharded cells: requests per access_batch() submission "
+            "(1 = drive access() per request)")
       .flag("obs-cadence", "8",
             "observed rows: time every Nth step (1 = every step; higher "
             "values shrink the observation overhead)")
@@ -321,7 +425,9 @@ int run(int argc, const char* const* argv) {
         }
 
         // Unaudited cell, plus — with --audit and an audit-capable policy —
-        // an audited twin, so the JSON carries overhead pairs.
+        // an audited twin, so the JSON carries overhead pairs. (The sharded
+        // pseudo-policies take neither an auditor nor audit twins: the
+        // frontend owns its sessions.)
         const bool audit_capable =
             policy_name == "convex" || policy_name == "convex-scan";
         for (const bool audited : {false, true}) {
@@ -334,8 +440,19 @@ int run(int argc, const char* const* argv) {
             observer_options.trace = trace_writer.get();
             observer = std::make_unique<obs::SimObserver>(observer_options);
           }
-          measure(cell, trace, capacity, costs, policy_name, repeats, audited,
-                  audit_cadence, observer.get());
+          if (is_sharded_policy(policy_name)) {
+            measure_sharded(cell, trace, capacity, costs,
+                            policy_name == "sharded-seqlock"
+                                ? HitPath::kSeqlock
+                                : HitPath::kLocked,
+                            tenants, repeats, cli.get_u64("seed"),
+                            static_cast<std::size_t>(std::max<std::uint64_t>(
+                                1, cli.get_u64("sharded-batch"))),
+                            observer.get());
+          } else {
+            measure(cell, trace, capacity, costs, policy_name, repeats,
+                    audited, audit_cadence, observer.get());
+          }
           if (observer != nullptr && !audited) {
             const obs::LabelSet labels{{"policy", policy_name},
                                        {"cost", family},
@@ -366,6 +483,7 @@ int run(int argc, const char* const* argv) {
   }
 
   std::cout << "\n" << table.to_ascii() << "\n";
+  check_hit_path_equivalence(rows);
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) write_json(json_path, cli, rows);
   if (observe && !json_path.empty()) write_obs_outputs(obs_registry, json_path);

@@ -1,20 +1,35 @@
 #!/usr/bin/env python3
 """CI throughput regression gate for the e6 benchmark JSON.
 
-Compares the requests_per_second of each (policy, cost, tenants) cell in a
-fresh BENCH_throughput.json against the committed baseline and fails when
-any cell drops by more than the tolerance (default 25%, see
+Compares the requests_per_second of each (policy, cost, tenants) cell in
+one or more fresh BENCH_*.json files against the committed baseline and
+fails when any cell drops by more than the tolerance (default 25%, see
 bench/baselines/README.md for why the bar is that wide on shared runners).
+
+`--current` may be repeated: the bench-smoke job measures the
+eviction-pressure cells and the hit-path serving cells in separate
+e6_throughput invocations (they use different workload shapes), and the
+gate compares their union against the single committed baseline. A cell
+key that appears in more than one current file is a hard input error —
+the union would silently prefer one measurement over the other.
 
 Also sanity-checks the perf plumbing the ratios are built on: a cell whose
 wall_seconds is missing or non-positive fails the gate outright (a zero
-denominator means a dropped counter field upstream, not a fast run), and a
-non-positive baseline rps is a hard input error rather than an automatic
-pass (the old `inf` ratio waved through any cell with a corrupt baseline).
+denominator means a dropped counter field upstream, not a fast run), a
+baseline cell missing from every current file is a failure (a silently
+dropped cell is how a gate rots), and a non-positive baseline rps is a
+hard input error rather than an automatic pass (the old `inf` ratio waved
+through any cell with a corrupt baseline).
+
+When $GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step),
+the same comparison is appended there as a markdown table so the verdict
+is readable from the run's summary page without digging through logs.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines/BENCH_throughput.baseline.json \
-                            --current BENCH_throughput.json [--tolerance 0.25] \
+                            --current BENCH_throughput.json \
+                            [--current BENCH_hitpath.json ...] \
+                            [--tolerance 0.25] \
                             [--current-obs BENCH_throughput.obs.json]
 
 `--current-obs` additionally validates an observability snapshot emitted by
@@ -27,6 +42,7 @@ Exit status: 0 = within tolerance, 1 = regression or missing cells,
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -63,10 +79,29 @@ def check_obs_snapshot(path):
     return None
 
 
+def write_step_summary(lines):
+    """Appends markdown lines to the GitHub Actions step summary, if any."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        # The summary is a nicety; never fail the gate over it.
+        print(f"check_bench_regression: cannot write step summary: {e}",
+              file=sys.stderr)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--current",
+        required=True,
+        action="append",
+        help="current-run JSON; repeat for multi-invocation sweeps",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -82,8 +117,18 @@ def main():
     try:
         with open(args.baseline) as f:
             baseline = comparable_rows(json.load(f))
-        with open(args.current) as f:
-            current = comparable_rows(json.load(f))
+        current = {}
+        for path in args.current:
+            with open(path) as f:
+                rows = comparable_rows(json.load(f))
+            overlap = sorted(set(rows) & set(current))
+            if overlap:
+                print(f"check_bench_regression: cell "
+                      f"{overlap[0][0]}/{overlap[0][1]}/n={overlap[0][2]} "
+                      f"appears in more than one --current file ({path}) — "
+                      f"ambiguous union", file=sys.stderr)
+                return 2
+            current.update(rows)
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_bench_regression: cannot read input: {e}", file=sys.stderr)
         return 2
@@ -94,37 +139,59 @@ def main():
         return 2
 
     failures = []
+    summary = [
+        "### Throughput regression gate",
+        "",
+        "| cell | baseline req/s | current req/s | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
     print(f"{'cell':<44} {'baseline':>12} {'current':>12} {'ratio':>7}")
     for key, base_row in sorted(baseline.items()):
         label = f"{key[0]}/{key[1]}/n={key[2]}"
-        cur_row = current.get(key)
+        base_rps = base_row["requests_per_second"]
+        cur_row = current.pop(key, None)
         if cur_row is None:
             failures.append(f"{label}: cell missing from current run")
-            print(f"{label:<44} {base_row['requests_per_second']:>12.0f} "
-                  f"{'MISSING':>12} {'-':>7}")
+            print(f"{label:<44} {base_rps:>12.0f} {'MISSING':>12} {'-':>7}")
+            summary.append(
+                f"| `{label}` | {base_rps:,.0f} | — | — | ❌ missing |")
             continue
-        base_rps = base_row["requests_per_second"]
-        cur_rps = cur_row["requests_per_second"]
         if base_rps <= 0:
             print(f"check_bench_regression: baseline rps for {label} is "
                   f"{base_rps} — corrupt baseline file", file=sys.stderr)
             return 2
+        cur_rps = cur_row["requests_per_second"]
         if cur_row.get("wall_seconds", 0) <= 0:
             failures.append(
                 f"{label}: current wall_seconds is non-positive — a perf "
                 f"counter was dropped somewhere upstream")
             print(f"{label:<44} {base_rps:>12.0f} {'BAD WALL':>12} {'-':>7}")
+            summary.append(
+                f"| `{label}` | {base_rps:,.0f} | — | — | ❌ bad wall |")
             continue
         ratio = cur_rps / base_rps
         flag = ""
+        verdict = "✅ pass"
         if ratio < 1.0 - args.tolerance:
             failures.append(
                 f"{label}: {cur_rps:.0f} req/s is "
                 f"{(1.0 - ratio) * 100:.1f}% below baseline {base_rps:.0f}"
             )
             flag = "  << REGRESSION"
+            verdict = f"❌ −{(1.0 - ratio) * 100:.1f}%"
         print(f"{label:<44} {base_rps:>12.0f} {cur_rps:>12.0f} "
               f"{ratio:>7.2f}{flag}")
+        summary.append(f"| `{label}` | {base_rps:,.0f} | {cur_rps:,.0f} "
+                       f"| {ratio:.2f} | {verdict} |")
+
+    # Cells measured but absent from the baseline are not gated; surface
+    # them so a forgotten baseline refresh is visible, not silent.
+    for key in sorted(current):
+        label = f"{key[0]}/{key[1]}/n={key[2]}"
+        cur_rps = current[key]["requests_per_second"]
+        print(f"{label:<44} {'(no baseline)':>12} {cur_rps:>12.0f} {'-':>7}")
+        summary.append(
+            f"| `{label}` | — | {cur_rps:,.0f} | — | ⚠️ not in baseline |")
 
     if args.current_obs:
         error = check_obs_snapshot(args.current_obs)
@@ -133,12 +200,18 @@ def main():
             return 2
         print(f"obs snapshot {args.current_obs} OK")
 
+    summary.append("")
     if failures:
+        summary.append(f"**FAILED** (tolerance {args.tolerance:.0%}): "
+                       f"{len(failures)} cell(s)")
+        write_step_summary(summary)
         print(f"\nthroughput regression gate FAILED "
               f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
+    summary.append(f"**Passed** (tolerance {args.tolerance:.0%})")
+    write_step_summary(summary)
     print(f"\nthroughput regression gate passed (tolerance {args.tolerance:.0%})")
     return 0
 

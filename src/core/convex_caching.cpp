@@ -39,6 +39,7 @@ void ConvexCachingPolicy::reset(const PolicyContext& ctx) {
       MinHeap{});
   global_ = GlobalHeap{};
   pages_.clear();
+  pages_.reserve(ctx.capacity);
   tenant_pages_.clear();
   track_tenant_pages_ = false;
   current_window_ = 0;
@@ -72,7 +73,9 @@ void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
   std::fill(evictions_.begin(), evictions_.end(), 0);
   std::fill(tenant_bump_.begin(), tenant_bump_.end(), 0.0);
   offset_ = 0.0;
-  for (auto& [page, state] : pages_) {
+  // FlatMap iterators yield reference proxies, so bind the proxy by value;
+  // `state` is still a live reference into the table.
+  for (auto [page, state] : pages_) {
     (void)page;
     state.key = next_marginal(state.tenant);
   }

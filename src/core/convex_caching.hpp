@@ -47,11 +47,11 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/policy.hpp"
+#include "util/flat_map.hpp"
 
 namespace ccc {
 
@@ -221,7 +221,7 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   std::vector<std::uint64_t> evictions_; ///< m(i, t)
   std::vector<MinHeap> heaps_;           ///< scan mode: one heap per tenant
   GlobalHeap global_;                    ///< heap mode: one heap, all tenants
-  std::unordered_map<PageId, PageState> pages_;  ///< resident pages
+  util::FlatMap<PageState> pages_;       ///< resident pages (flat, SoA)
   /// Resident pages per tenant; only maintained once a bump has decreased
   /// (possible only for non-convex costs), empty and untouched otherwise.
   std::vector<std::unordered_set<PageId>> tenant_pages_;

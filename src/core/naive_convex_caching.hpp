@@ -6,11 +6,11 @@
 ///        identical decisions on identical inputs. Keep this file boring —
 ///        its value is that it visibly matches the paper's pseudocode.
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/convex_caching.hpp"
 #include "sim/policy.hpp"
+#include "util/flat_map.hpp"
 
 namespace ccc {
 
@@ -35,9 +35,17 @@ class NaiveConvexCachingPolicy final : public ReplacementPolicy {
 
   ConvexCachingOptions options_;
   const std::vector<CostFunctionPtr>* costs_ = nullptr;
-  std::unordered_map<PageId, double> budget_;  ///< B(p) for resident pages
-  std::unordered_map<PageId, TenantId> tenant_of_;
-  std::vector<std::uint64_t> evictions_;       ///< m(i, t)
+  /// Resident pages in SoA form: `slot_of_` maps a page to its dense slot,
+  /// and the three parallel arrays hold the per-page fields. The Fig. 3
+  /// debit ("B(p') ← B(p') − B(p)") and bump loops become branch-free
+  /// linear sweeps over `slot_budget_` / `slot_tenant_` that the compiler
+  /// can vectorize; element-wise arithmetic is unchanged, so decisions
+  /// stay bit-identical to the node-map transcription.
+  util::FlatMap<std::uint32_t> slot_of_;
+  std::vector<PageId> slot_page_;
+  std::vector<double> slot_budget_;      ///< B(p) for resident pages
+  std::vector<TenantId> slot_tenant_;
+  std::vector<std::uint64_t> evictions_; ///< m(i, t)
 };
 
 }  // namespace ccc

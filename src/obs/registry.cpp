@@ -227,6 +227,9 @@ void snapshot_perf(MetricsRegistry& registry, const PerfCounters& perf,
   registry.set_counter("ccc_perf_window_rollovers_total",
                        "Accounting-window boundary crossings", extra,
                        static_cast<double>(perf.window_rollovers));
+  registry.set_counter("ccc_perf_lockfree_hits_total",
+                       "Hits served by the optimistic seqlock path", extra,
+                       static_cast<double>(perf.lockfree_hits));
   registry.set_gauge("ccc_perf_wall_seconds",
                      "Wall-clock time of the measured request loop", extra,
                      perf.wall_seconds);

@@ -6,6 +6,7 @@
 
 #include "core/convex_caching.hpp"
 #include "util/check.hpp"
+#include "util/flat_map.hpp"
 
 namespace ccc {
 
@@ -17,14 +18,26 @@ double seconds_since(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
-/// SplitMix64 finalizer. PageIds carry the owning tenant in their high bits
-/// (types.hpp), so an unmixed `page % S` would correlate shard choice with
-/// the tenant-local index; full avalanche decorrelates both.
-std::uint64_t mix_page(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+/// Empty marker for the seqlock residency tables (never a valid PageId).
+constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+/// How far ahead access_batch probes the residency hash while draining a
+/// shard group: far enough to cover the memory latency of one probe, near
+/// enough that the prefetched line is still resident when reached.
+constexpr std::size_t kPrefetchDistance = 8;
+
+/// Locked runs inside a seqlock-mode batch hand back to the optimistic
+/// path after this many consecutive already-fresh hits. Small enough to
+/// resume quickly once the post-eviction restamping settles, large enough
+/// that one lucky fresh hit inside an eviction storm doesn't cause
+/// lock/unlock churn.
+constexpr std::size_t kSeqlockResumeStreak = 4;
+
+/// Smallest power of two ≥ `n` (and ≥ 16).
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
 }
 
 }  // namespace
@@ -94,6 +107,38 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
     auto shard = std::make_unique<Shard>();
     shard->policy = factory();
     CCC_CHECK(shard->policy != nullptr, "policy factory returned null");
+    if (options_.hit_path == HitPath::kSeqlock) {
+      // The optimistic path serves a "fresh" hit without consulting the
+      // policy, which is sound only when that hit would have been a pure
+      // state no-op: true for ALG-DISCRETE (a hit re-freezes the budget to
+      // the value it already has unless an eviction intervened) but not in
+      // general (LRU must move the page to the MRU position on every hit).
+      const auto* convex =
+          dynamic_cast<const ConvexCachingPolicy*>(shard->policy.get());
+      CCC_REQUIRE(convex != nullptr,
+                  "HitPath::kSeqlock requires ALG-DISCRETE shard policies "
+                  "(hits must be read-only)");
+      CCC_REQUIRE(convex->options().window_length == 0,
+                  "HitPath::kSeqlock is incompatible with windowed "
+                  "accounting (window rollovers re-base budgets on hits)");
+      // One table sized for the *total* capacity: rebalancing may hand
+      // this shard (almost) everything, and reallocation would pull the
+      // arrays out from under concurrent lock-free readers.
+      const std::size_t table_size = pow2_at_least(2 * options_.capacity + 2);
+      shard->table_mask = table_size - 1;
+      shard->table_key =
+          std::make_unique<std::atomic<std::uint64_t>[]>(table_size);
+      shard->table_stamp =
+          std::make_unique<std::atomic<std::uint64_t>[]>(table_size);
+      for (std::size_t i = 0; i < table_size; ++i) {
+        shard->table_key[i].store(kEmptySlot, std::memory_order_relaxed);
+        shard->table_stamp[i].store(0, std::memory_order_relaxed);
+      }
+      shard->lockfree_hits = std::make_unique<std::atomic<std::uint64_t>[]>(
+          options_.num_tenants);
+      for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        shard->lockfree_hits[t].store(0, std::memory_order_relaxed);
+    }
     SimOptions sim_options;
     sim_options.seed = options_.seed + s;
     sim_options.step_observer = options_.step_observer;
@@ -104,11 +149,184 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
 }
 
 std::size_t ShardedCache::shard_of(PageId page) const noexcept {
-  return static_cast<std::size_t>(mix_page(page) % shards_.size());
+  // Multiply-shift range reduction over the mixed id: the shard is decided
+  // by the *high* bits of splitmix64(page), leaving the low bits — which
+  // the flat residency tables use for slot selection — unconstrained
+  // within a shard. (A plain `mix % S` with S a power of two would pin the
+  // low bits per shard and collapse every in-shard table onto 1/S of its
+  // slots.) PageIds carry the owning tenant in their high bits
+  // (types.hpp), so the pre-mix is what decorrelates shard choice from
+  // tenant identity.
+  const std::uint64_t hi = util::splitmix64(page) >> 32;
+  return static_cast<std::size_t>(
+      (hi * static_cast<std::uint64_t>(shards_.size())) >> 32);
+}
+
+bool ShardedCache::try_seqlock_hit(Shard& shard, const Request& request,
+                                   StepEvent& event) const {
+  // Reader side of the Boehm seqlock recipe. Every shared slot is a
+  // std::atomic accessed with relaxed/acquire loads (no data races for
+  // TSan to flag); the acquire fence + seq revalidation guarantee that a
+  // *successful* return observed a table no writer touched in between.
+  // Any torn, in-progress or ambiguous observation falls back to the
+  // mutex — the fallback is always correct, just slower.
+  if (request.tenant >= options_.num_tenants) return false;  // locked throw
+  const std::uint64_t s1 = shard.seq.load(std::memory_order_acquire);
+  if ((s1 & 1) != 0) return false;  // a structural write is in flight
+  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
+  std::size_t slot =
+      static_cast<std::size_t>(util::splitmix64(request.page)) &
+      shard.table_mask;
+  bool fresh = false;
+  for (std::size_t probes = 0; probes <= shard.table_mask; ++probes) {
+    const std::uint64_t key =
+        shard.table_key[slot].load(std::memory_order_acquire);
+    if (key == kEmptySlot) break;  // not resident (as of this snapshot)
+    if (key == request.page) {
+      // Fresh ⇔ no eviction/rebuild since this page's last budget
+      // refresh ⇔ re-freezing the budget now would store the identical
+      // value ⇔ the locked hit path would be a pure no-op. (The acquire
+      // on `key` orders this relaxed load after the writer's stamp
+      // store, which precedes its key release-store on the publish path.)
+      fresh = shard.table_stamp[slot].load(std::memory_order_relaxed) ==
+              epoch;
+      break;
+    }
+    slot = (slot + 1) & shard.table_mask;
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (shard.seq.load(std::memory_order_relaxed) != s1 || !fresh)
+    return false;
+  shard.lockfree_hits[request.tenant].fetch_add(1,
+                                                std::memory_order_relaxed);
+  event = StepEvent{};
+  event.request = request;
+  event.hit = true;
+  return true;
+}
+
+bool ShardedCache::apply_event_seqlock(Shard& shard, const StepEvent& event) {
+  // Writer side (mutex held, so we are the only writer). Three cases:
+  //  hit      — refresh the page's stamp. A lone relaxed store: a racing
+  //             reader sees either the old stamp (conservative fallback)
+  //             or the new one (correct), never an inconsistency.
+  //  insert   — publish stamp *then* key with a release store; a reader
+  //             that acquires the new key therefore sees its stamp.
+  //  eviction — the only structural mutation (backward-shift erase moves
+  //             unrelated entries): wrapped in an odd `seq` window so
+  //             every concurrent reader retries via the locked path.
+  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
+  const auto home = [&shard](PageId page) {
+    return static_cast<std::size_t>(util::splitmix64(page)) &
+           shard.table_mask;
+  };
+  if (event.hit) {
+    std::size_t slot = home(event.request.page);
+    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
+           event.request.page) {
+      CCC_CHECK(shard.table_key[slot].load(std::memory_order_relaxed) !=
+                    kEmptySlot,
+                "seqlock table lost a resident page");
+      slot = (slot + 1) & shard.table_mask;
+    }
+    const bool was_fresh =
+        shard.table_stamp[slot].load(std::memory_order_relaxed) == epoch;
+    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
+    return was_fresh;
+  }
+  if (!event.victim.has_value()) {
+    // Miss into free space: plain publish into an empty slot.
+    std::size_t slot = home(event.request.page);
+    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
+           kEmptySlot)
+      slot = (slot + 1) & shard.table_mask;
+    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
+    shard.table_key[slot].store(event.request.page,
+                                std::memory_order_release);
+    return false;
+  }
+  // Miss with eviction: odd window around erase + epoch bump + insert.
+  const std::uint64_t s = shard.seq.load(std::memory_order_relaxed);
+  shard.seq.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  // Tombstone-free backward-shift erase of the victim (relaxed stores —
+  // the odd window screens them from readers).
+  std::size_t hole = home(*event.victim);
+  while (shard.table_key[hole].load(std::memory_order_relaxed) !=
+         *event.victim) {
+    CCC_CHECK(shard.table_key[hole].load(std::memory_order_relaxed) !=
+                  kEmptySlot,
+              "seqlock table lost the victim page");
+    hole = (hole + 1) & shard.table_mask;
+  }
+  std::size_t probe = hole;
+  while (true) {
+    probe = (probe + 1) & shard.table_mask;
+    const std::uint64_t key =
+        shard.table_key[probe].load(std::memory_order_relaxed);
+    if (key == kEmptySlot) break;
+    const std::size_t h = home(key);
+    if (((probe - h) & shard.table_mask) >=
+        ((probe - hole) & shard.table_mask)) {
+      shard.table_key[hole].store(key, std::memory_order_relaxed);
+      shard.table_stamp[hole].store(
+          shard.table_stamp[probe].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      hole = probe;
+    }
+  }
+  shard.table_key[hole].store(kEmptySlot, std::memory_order_relaxed);
+
+  // The eviction debited every survivor (and bumped the victim's tenant),
+  // so no resident page's frozen budget re-freezes to the same value any
+  // more: advance the epoch, staling every stamp at once.
+  shard.epoch.store(epoch + 1, std::memory_order_relaxed);
+
+  // Insert the newly fetched page, stamped fresh for the new epoch.
+  std::size_t slot = home(event.request.page);
+  while (shard.table_key[slot].load(std::memory_order_relaxed) != kEmptySlot)
+    slot = (slot + 1) & shard.table_mask;
+  shard.table_stamp[slot].store(epoch + 1, std::memory_order_relaxed);
+  shard.table_key[slot].store(event.request.page,
+                              std::memory_order_relaxed);
+
+  shard.seq.store(s + 2, std::memory_order_release);
+  return false;
+}
+
+void ShardedCache::rebuild_table_seqlock(Shard& shard) {
+  // Caller holds the mutex and an odd seq window. Rebuild from the cache
+  // state with uniformly stale stamps (a rebalance resize may have
+  // debited survivors), then advance the epoch.
+  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i <= shard.table_mask; ++i)
+    shard.table_key[i].store(kEmptySlot, std::memory_order_relaxed);
+  for (const auto& [page, owner] : shard.session->cache().pages()) {
+    (void)owner;
+    std::size_t slot = static_cast<std::size_t>(util::splitmix64(page)) &
+                       shard.table_mask;
+    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
+           kEmptySlot)
+      slot = (slot + 1) & shard.table_mask;
+    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
+    shard.table_key[slot].store(page, std::memory_order_relaxed);
+  }
+  shard.epoch.store(epoch + 1, std::memory_order_relaxed);
 }
 
 StepEvent ShardedCache::access(const Request& request) {
   Shard& shard = *shards_[shard_of(request.page)];
+  if (options_.hit_path == HitPath::kSeqlock) {
+    StepEvent event;
+    if (try_seqlock_hit(shard, request, event)) return event;
+    const std::lock_guard lock(shard.mutex);
+    const auto start = SteadyClock::now();
+    event = shard.session->step(request);
+    apply_event_seqlock(shard, event);
+    shard.wall_seconds += seconds_since(start);
+    return event;
+  }
   const std::lock_guard lock(shard.mutex);
   const auto start = SteadyClock::now();
   StepEvent event = shard.session->step(request);
@@ -116,13 +334,65 @@ StepEvent ShardedCache::access(const Request& request) {
   return event;
 }
 
+void ShardedCache::process_group(Shard& shard, std::span<const Request> batch,
+                                 const std::vector<std::size_t>* group,
+                                 std::vector<StepEvent>* events,
+                                 std::size_t base) {
+  const std::size_t n = group != nullptr ? group->size() : batch.size();
+  const auto idx = [group](std::size_t j) {
+    return group != nullptr ? (*group)[j] : j;
+  };
+  std::size_t j = 0;
+  if (options_.hit_path == HitPath::kSeqlock) {
+    // Alternate lock-free and locked runs, always in submission order (a
+    // request is never served before an earlier one — a mid-group
+    // eviction can touch a later request's page, so reordering would
+    // change the books). A locked run starts at the first request the
+    // optimistic path cannot serve and ends once a streak of
+    // already-fresh hits shows the table is serviceable again; on a
+    // stale-heavy stream the streak never forms and the whole remainder
+    // runs under one lock acquisition, same as the locked path.
+    StepEvent event;
+    while (j < n) {
+      for (; j < n; ++j) {
+        if (!try_seqlock_hit(shard, batch[idx(j)], event)) break;
+        if (events != nullptr) (*events)[base + idx(j)] = event;
+      }
+      if (j == n) return;
+      const std::lock_guard lock(shard.mutex);
+      const auto start = SteadyClock::now();
+      const CacheState& cache = shard.session->cache();
+      std::size_t fresh_streak = 0;
+      for (; j < n && fresh_streak < kSeqlockResumeStreak; ++j) {
+        if (j + kPrefetchDistance < n)
+          cache.prefetch(batch[idx(j + kPrefetchDistance)].page);
+        StepEvent locked_event = shard.session->step(batch[idx(j)]);
+        fresh_streak = apply_event_seqlock(shard, locked_event)
+                           ? fresh_streak + 1
+                           : 0;
+        if (events != nullptr) (*events)[base + idx(j)] = locked_event;
+      }
+      shard.wall_seconds += seconds_since(start);
+    }
+    return;
+  }
+  const std::lock_guard lock(shard.mutex);
+  const auto start = SteadyClock::now();
+  const CacheState& cache = shard.session->cache();
+  for (; j < n; ++j) {
+    // Probe-ahead: pull the residency-table line of a request a few slots
+    // ahead while the current one is processed.
+    if (j + kPrefetchDistance < n)
+      cache.prefetch(batch[idx(j + kPrefetchDistance)].page);
+    StepEvent event = shard.session->step(batch[idx(j)]);
+    if (events != nullptr) (*events)[base + idx(j)] = event;
+  }
+  shard.wall_seconds += seconds_since(start);
+}
+
 void ShardedCache::access_batch(std::span<const Request> batch) {
   if (shards_.size() == 1) {
-    Shard& shard = *shards_[0];
-    const std::lock_guard lock(shard.mutex);
-    const auto start = SteadyClock::now();
-    for (const Request& request : batch) (void)shard.session->step(request);
-    shard.wall_seconds += seconds_since(start);
+    process_group(*shards_[0], batch, nullptr, nullptr, 0);
     return;
   }
   // Group by shard without reordering within a group: bucket the request
@@ -132,11 +402,7 @@ void ShardedCache::access_batch(std::span<const Request> batch) {
     groups[shard_of(batch[i].page)].push_back(i);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (groups[s].empty()) continue;
-    Shard& shard = *shards_[s];
-    const std::lock_guard lock(shard.mutex);
-    const auto start = SteadyClock::now();
-    for (const std::size_t i : groups[s]) (void)shard.session->step(batch[i]);
-    shard.wall_seconds += seconds_since(start);
+    process_group(*shards_[s], batch, &groups[s], nullptr, 0);
   }
 }
 
@@ -148,12 +414,7 @@ void ShardedCache::access_batch(std::span<const Request> batch,
   const std::size_t base = events.size();
   events.resize(base + batch.size());
   if (shards_.size() == 1) {
-    Shard& shard = *shards_[0];
-    const std::lock_guard lock(shard.mutex);
-    const auto start = SteadyClock::now();
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      events[base + i] = shard.session->step(batch[i]);
-    shard.wall_seconds += seconds_since(start);
+    process_group(*shards_[0], batch, nullptr, &events, base);
     return;
   }
   std::vector<std::vector<std::size_t>> groups(shards_.size());
@@ -161,12 +422,7 @@ void ShardedCache::access_batch(std::span<const Request> batch,
     groups[shard_of(batch[i].page)].push_back(i);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (groups[s].empty()) continue;
-    Shard& shard = *shards_[s];
-    const std::lock_guard lock(shard.mutex);
-    const auto start = SteadyClock::now();
-    for (const std::size_t i : groups[s])
-      events[base + i] = shard.session->step(batch[i]);
-    shard.wall_seconds += seconds_since(start);
+    process_group(*shards_[s], batch, &groups[s], &events, base);
   }
 }
 
@@ -175,6 +431,12 @@ Metrics ShardedCache::aggregated_metrics() const {
   for (const auto& shard : shards_) {
     const std::lock_guard lock(shard->mutex);
     total.merge(shard->session->metrics());
+    // Hits served lock-free bypassed the session's books; fold them in so
+    // the aggregate equals a locked run's totals per tenant.
+    if (shard->lockfree_hits != nullptr)
+      for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        total.record_hits(
+            t, shard->lockfree_hits[t].load(std::memory_order_relaxed));
   }
   return total;
 }
@@ -186,7 +448,19 @@ PerfCounters ShardedCache::aggregated_perf() const {
     PerfCounters perf = shard->session->perf_counters();
     // The session leaves wall_seconds to its driver; this frontend *is*
     // the driver and accumulated the in-lock processing time per shard.
+    // (Lock-free hits are not individually timed — the optimistic path
+    // exists precisely to avoid per-request bookkeeping — so under
+    // kSeqlock the wall time covers the locked residue only; throughput
+    // benches time the full loop externally.)
     perf.wall_seconds = shard->wall_seconds;
+    if (shard->lockfree_hits != nullptr) {
+      std::uint64_t lockfree = 0;
+      for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        lockfree +=
+            shard->lockfree_hits[t].load(std::memory_order_relaxed);
+      perf.requests += lockfree;  // the session only counted locked steps
+      perf.lockfree_hits += lockfree;
+    }
     total.merge(perf);
   }
   return total;
@@ -217,6 +491,9 @@ std::vector<ShardStats> ShardedCache::shard_stats() const {
     s.hits = m.total_hits();
     s.misses = m.total_misses();
     s.evictions = m.total_evictions();
+    if (shard->lockfree_hits != nullptr)
+      for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        s.hits += shard->lockfree_hits[t].load(std::memory_order_relaxed);
     stats.push_back(s);
   }
   return stats;
@@ -264,8 +541,22 @@ void ShardedCache::rebalance() {
   const auto start = SteadyClock::now();
 #endif
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const std::lock_guard lock(shards_[s]->mutex);
-    shards_[s]->session->resize(split[s]);
+    Shard& shard = *shards_[s];
+    const std::lock_guard lock(shard.mutex);
+    if (options_.hit_path == HitPath::kSeqlock) {
+      // Resizing may evict (drain a shrinking shard) and in any case
+      // re-bases what "fresh" means, so rebuild the residency table under
+      // an odd window and stale every stamp via the epoch bump inside
+      // rebuild_table_seqlock. Readers retry through the mutex meanwhile.
+      const std::uint64_t sq = shard.seq.load(std::memory_order_relaxed);
+      shard.seq.store(sq + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      shard.session->resize(split[s]);
+      rebuild_table_seqlock(shard);
+      shard.seq.store(sq + 2, std::memory_order_release);
+    } else {
+      shard.session->resize(split[s]);
+    }
   }
 #ifdef CCC_OBS_ENABLED
   if (options_.step_observer != nullptr)

@@ -32,7 +32,16 @@
 /// request order is preserved, so single-threaded replays are deterministic
 /// for any batch size. Aggregation (metrics, costs, stats) locks shards one
 /// at a time — locks are never nested, so the layer cannot deadlock.
+///
+/// With `HitPath::kSeqlock` the common case — a hit on a page whose budget
+/// is already current — bypasses the mutex entirely: readers probe a flat
+/// per-shard residency table validated by a per-shard sequence counter and
+/// an eviction epoch, and fall back to the locked path on a torn read, a
+/// miss, or a stale budget stamp. Sound for ALG-DISCRETE only (enforced at
+/// construction) because such a "fresh" hit is a pure state no-op there;
+/// DESIGN.md §10 gives the full argument and the memory-order recipe.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +67,12 @@ namespace ccc {
     std::size_t total, const std::vector<std::uint64_t>& misses,
     std::size_t min_per_shard);
 
+/// How hits reach their shard.
+enum class HitPath {
+  kLocked,   ///< every request takes the shard mutex (the safe default)
+  kSeqlock,  ///< fresh hits go lock-free; misses/evictions take the mutex
+};
+
 struct ShardedCacheOptions {
   std::size_t capacity = 0;    ///< total pages summed across shards
   std::size_t num_shards = 1;
@@ -65,6 +80,12 @@ struct ShardedCacheOptions {
   std::uint64_t seed = 1;      ///< shard s seeds its policy with seed + s
   /// Capacity floor per shard enforced by the default rebalancer.
   std::size_t min_shard_capacity = 1;
+  /// kSeqlock requires an ALG-DISCRETE policy (the default factory) with
+  /// `window_length == 0` — the constructor rejects anything else, since
+  /// the optimistic path is only sound when a fresh hit changes no policy
+  /// state. Single-threaded replays produce bit-identical metrics, events
+  /// and victim sequences on either path.
+  HitPath hit_path = HitPath::kLocked;
   /// Optional observability hook, shared by *all* shards — it must be
   /// thread-safe (obs::SimObserver is: lock-free histograms, mutexed trace
   /// writer). Requires a `CCC_OBS=ON` build; the per-shard session
@@ -172,8 +193,12 @@ class ShardedCache {
   /// Recomputes the capacity split from current shard stats via the hook
   /// and applies it: growing shards just get headroom, shrinking shards
   /// drain immediately through their policy's eviction path (see
-  /// SimulatorSession::resize). Not concurrency-safe against in-flight
-  /// access — call from a quiesced control thread.
+  /// SimulatorSession::resize). Data-race-free against concurrent access
+  /// in both hit-path modes (each shard is resized under its mutex, and
+  /// under kSeqlock the table rebuild sits inside an odd seq window so
+  /// lock-free readers retry); note the split is computed from a
+  /// moment-in-time stats snapshot, so concurrent traffic can make it
+  /// mildly stale — harmless, the next rebalance catches up.
   void rebalance();
 
   /// Read-only view of one shard's session (tests / diagnostics; take care
@@ -189,7 +214,51 @@ class ShardedCache {
     /// amortizes the clock reads). Summed by aggregated_perf().
     double wall_seconds = 0.0;
     mutable std::mutex mutex;
+
+    // ---- seqlock hit path (allocated only under HitPath::kSeqlock) ----
+    // Writer protocol (mutex holders only): structural changes — eviction
+    // erase, epoch bump, table rebuild — happen inside an odd `seq`
+    // window; pure publishes (insert into an empty slot, stamp refresh)
+    // need none because a racing reader can only miss them, never observe
+    // an inconsistent state. Reader protocol in try_seqlock_hit().
+    alignas(64) std::atomic<std::uint64_t> seq{0};
+    /// Evictions + rebuilds so far; a page's budget refresh is a no-op iff
+    /// its slot's stamp still equals this epoch.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Open-addressing residency table: page id (or kEmptySlot) and the
+    /// epoch stamped at the page's last budget refresh. Sized once at
+    /// ≥ 2x the *total* capacity so rebalancing never reallocates under
+    /// a concurrent reader.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> table_key;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> table_stamp;
+    std::size_t table_mask = 0;
+    /// Per-tenant hits served lock-free (folded into metrics/perf on
+    /// aggregation; never written by the locked path).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> lockfree_hits;
   };
+
+  /// Lock-free fast path: returns true iff `request` was a fresh hit and
+  /// has been fully served (event filled in, hit tallied).
+  bool try_seqlock_hit(Shard& shard, const Request& request,
+                       StepEvent& event) const;
+  /// Mirrors one locked step's outcome into the shard's residency table
+  /// (mutex must be held). Returns true iff the event was a hit whose
+  /// stamp was already current — i.e. the optimistic path would have
+  /// served it; process_group uses that as its resume signal.
+  bool apply_event_seqlock(Shard& shard, const StepEvent& event);
+  /// Rebuilds a shard's table from its cache state with all-stale stamps
+  /// (mutex must be held; used after rebalance resizing).
+  void rebuild_table_seqlock(Shard& shard);
+  /// Processes one shard's slice of a batch in submission order. Under
+  /// kSeqlock the slice is served as alternating runs: a lock-free run of
+  /// fresh hits, then — at the first request needing the mutex — a locked
+  /// run that ends once a streak of already-fresh hits shows the
+  /// optimistic path is viable again. Locked runs use probe-ahead
+  /// prefetching. `group == nullptr` means the slice is the whole batch
+  /// (single-shard fast path).
+  void process_group(Shard& shard, std::span<const Request> batch,
+                     const std::vector<std::size_t>* group,
+                     std::vector<StepEvent>* events, std::size_t base);
 
   ShardedCacheOptions options_;
   const std::vector<CostFunctionPtr>* costs_ = nullptr;

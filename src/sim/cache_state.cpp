@@ -17,9 +17,8 @@ TenantId CacheState::owner(PageId page) const {
 
 void CacheState::insert(PageId page, TenantId tenant) {
   CCC_REQUIRE(!full(), "inserting into a full cache — evict first");
-  const auto [it, inserted] = resident_.emplace(page, tenant);
-  (void)it;
-  CCC_REQUIRE(inserted, "page is already resident");
+  CCC_REQUIRE(!resident_.contains(page), "page is already resident");
+  resident_.insert_or_assign(page, tenant);
 }
 
 void CacheState::erase(PageId page) {

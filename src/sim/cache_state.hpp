@@ -4,9 +4,8 @@
 ///        by a tenant. Pure bookkeeping — replacement decisions live in
 ///        ReplacementPolicy implementations.
 
-#include <unordered_map>
-
 #include "trace/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace ccc {
 
@@ -37,9 +36,12 @@ class CacheState {
   /// (SimulatorSession::resize does exactly that).
   void set_capacity(std::size_t capacity);
 
+  /// Hint that `page` is about to be probed (batch probe-ahead). Touches
+  /// only the hash-table key line; a no-op on unknown compilers.
+  void prefetch(PageId page) const { resident_.prefetch(page); }
+
   /// Resident pages and their owners (iteration order unspecified).
-  [[nodiscard]] const std::unordered_map<PageId, TenantId>& pages()
-      const noexcept {
+  [[nodiscard]] const util::FlatMap<TenantId>& pages() const noexcept {
     return resident_;
   }
 
@@ -47,7 +49,7 @@ class CacheState {
 
  private:
   std::size_t capacity_;
-  std::unordered_map<PageId, TenantId> resident_;
+  util::FlatMap<TenantId> resident_;
 };
 
 }  // namespace ccc

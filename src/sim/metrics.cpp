@@ -13,6 +13,7 @@ void PerfCounters::merge(const PerfCounters& other) noexcept {
   stale_skips += other.stale_skips;
   index_rebuilds += other.index_rebuilds;
   window_rollovers += other.window_rollovers;
+  lockfree_hits += other.lockfree_hits;
   wall_seconds += other.wall_seconds;
 }
 
@@ -40,6 +41,11 @@ Metrics::Metrics(std::uint32_t num_tenants)
 void Metrics::record_hit(TenantId tenant) {
   CCC_REQUIRE(tenant < hits_.size(), "tenant id out of range");
   ++hits_[tenant];
+}
+
+void Metrics::record_hits(TenantId tenant, std::uint64_t count) {
+  CCC_REQUIRE(tenant < hits_.size(), "tenant id out of range");
+  hits_[tenant] += count;
 }
 
 void Metrics::record_miss(TenantId tenant) {

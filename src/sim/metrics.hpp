@@ -29,6 +29,7 @@ struct PerfCounters {
   std::uint64_t stale_skips = 0;     ///< popped entries that were stale
   std::uint64_t index_rebuilds = 0;  ///< full index rebuilds (window/compact)
   std::uint64_t window_rollovers = 0;  ///< accounting-window boundary crossings
+  std::uint64_t lockfree_hits = 0;   ///< hits served by the optimistic path
   double wall_seconds = 0.0;         ///< wall-clock time of the request loop
 
   /// Adds another run's counters into this one — *every* field, including
@@ -53,6 +54,8 @@ class Metrics {
   explicit Metrics(std::uint32_t num_tenants);
 
   void record_hit(TenantId tenant);
+  /// Adds `count` hits at once (folding in a shard's lock-free hit tally).
+  void record_hits(TenantId tenant, std::uint64_t count);
   void record_miss(TenantId tenant);
   void record_eviction(TenantId tenant);
 

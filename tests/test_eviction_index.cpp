@@ -124,6 +124,32 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffCase{16, 5, 12, 8, 2000},
                       DiffCase{17, 24, 4, 16, 2500}));
 
+// Eviction-maximal churn: a universe far larger than k makes nearly every
+// request an insert+evict pair, so the policies' flat residency tables run
+// a backward-shift erase per step while sitting at their load limit. Any
+// probe chain corrupted by a shift (or a slot leaked across rehash) breaks
+// residency and therefore the victim sequence — which all three
+// implementations must still agree on exactly.
+TEST(EvictionIndexDifferential, EraseHeavyChurnAgreesAcrossIndexes) {
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    const Trace trace = mixed_trace(6, 256, 4000, seed);
+    const auto costs = integer_costs(6);
+    ConvexCachingPolicy global_index;
+    ConvexCachingPolicy scan_index(scan_options());
+    NaiveConvexCachingPolicy naive;
+    SimOptions options;
+    options.record_events = true;
+    const SimResult g = run_trace(trace, 8, global_index, &costs, options);
+    const SimResult s = run_trace(trace, 8, scan_index, &costs, options);
+    const SimResult n = run_trace(trace, 8, naive, &costs, options);
+    expect_identical_decisions(g, s, "churn global vs scan");
+    expect_identical_decisions(g, n, "churn global vs naive");
+    // At capacity 8 over a 1536-page universe, misses dominate: the churn
+    // premise (an eviction on nearly every step) must actually hold.
+    EXPECT_GT(g.metrics.total_evictions(), trace.size() / 2);
+  }
+}
+
 // The §2.5 discrete-marginal mode on non-convex costs shrinks tenant bumps
 // (a step cost's marginal falls back to 0 after each jump; sqrt marginals
 // decrease monotonically), driving the global index through its eager

@@ -14,6 +14,7 @@
 
 #include "core/convex_caching.hpp"
 #include "cost/monomial.hpp"
+#include "exp/policy_factory.hpp"
 #include "shard/parallel_replay.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
@@ -480,6 +481,260 @@ TEST(ShardedCache, ConcurrentBatchedAccessIsRaceFreeAndConserving) {
   EXPECT_EQ(m.total_hits() + m.total_misses(),
             writers * requests_per_writer);
   EXPECT_EQ(cache.aggregated_perf().requests, writers * requests_per_writer);
+}
+
+// ----------------------------------------------------------------- seqlock
+
+ShardedCacheOptions seqlock_options(std::size_t capacity, std::size_t shards,
+                                    std::uint32_t tenants) {
+  auto options = options_for(capacity, shards, tenants);
+  options.hit_path = HitPath::kSeqlock;
+  return options;
+}
+
+// The optimistic path is only sound for ALG-DISCRETE with unwindowed
+// accounting; anything else must be rejected at construction, not fail
+// subtly at runtime.
+TEST(ShardedCacheSeqlock, ConstructorRejectsUnsoundPolicies) {
+  const auto costs = quadratic_costs(4);
+  // Cost-oblivious policy: hits mutate recency state, never read-only.
+  EXPECT_THROW(ShardedCache(seqlock_options(16, 2, 4),
+                            [] { return make_policy("lru"); }, &costs),
+               std::invalid_argument);
+  // Windowed ALG-DISCRETE: rollovers re-base budgets on the hit path.
+  ConvexCachingOptions windowed;
+  windowed.window_length = 64;
+  EXPECT_THROW(ShardedCache(seqlock_options(16, 2, 4),
+                            make_convex_factory(windowed), &costs),
+               std::invalid_argument);
+  // The default factory is fine.
+  ShardedCache ok(seqlock_options(16, 2, 4), nullptr, &costs);
+  EXPECT_EQ(ok.num_shards(), 2u);
+}
+
+// The headline determinism guarantee: a single-threaded replay must be
+// byte-identical across hitpath=locked|seqlock — same per-request events,
+// same per-tenant books, same objective. (Policy-internal perf counters
+// like heap_pops legitimately differ: served-lock-free hits never reach
+// the policy.)
+TEST(ShardedCacheSeqlock, SingleThreadReplayIsByteIdenticalToLocked) {
+  const std::uint32_t tenants = 6;
+  const std::size_t capacity = 48;
+  const Trace trace = zipf_trace(tenants, 32, 8000, 83);
+  const auto costs = quadratic_costs(tenants);
+
+  for (const std::size_t shards : {1u, 4u}) {
+    ShardedCache locked(options_for(capacity, shards, tenants),
+                        make_convex_factory(), &costs);
+    ShardedCache seqlock(seqlock_options(capacity, shards, tenants),
+                         make_convex_factory(), &costs);
+
+    for (const Request& request : trace) {
+      const StepEvent expected = locked.access(request);
+      const StepEvent actual = seqlock.access(request);
+      ASSERT_EQ(actual.request, expected.request) << "shards=" << shards;
+      ASSERT_EQ(actual.hit, expected.hit) << "shards=" << shards;
+      ASSERT_EQ(actual.victim, expected.victim) << "shards=" << shards;
+      ASSERT_EQ(actual.victim_owner, expected.victim_owner)
+          << "shards=" << shards;
+    }
+
+    const Metrics a = locked.aggregated_metrics();
+    const Metrics b = seqlock.aggregated_metrics();
+    for (TenantId t = 0; t < tenants; ++t) {
+      EXPECT_EQ(a.hits(t), b.hits(t)) << "shards=" << shards;
+      EXPECT_EQ(a.misses(t), b.misses(t)) << "shards=" << shards;
+      EXPECT_EQ(a.evictions(t), b.evictions(t)) << "shards=" << shards;
+    }
+    EXPECT_DOUBLE_EQ(locked.global_miss_cost(), seqlock.global_miss_cost());
+
+    // Request conservation holds with the lock-free hits folded in, and
+    // the optimistic path actually fired (a Zipf trace is hit-heavy).
+    const PerfCounters perf = seqlock.aggregated_perf();
+    EXPECT_EQ(perf.requests, trace.size());
+    EXPECT_GT(perf.lockfree_hits, 0u) << "shards=" << shards;
+    EXPECT_EQ(locked.aggregated_perf().lockfree_hits, 0u);
+  }
+}
+
+// Same guarantee through the batched path (which adds the optimistic
+// group-prefix and probe-ahead prefetching), with randomized batch sizes.
+TEST(ShardedCacheSeqlock, BatchedReplayMatchesLockedEventForEvent) {
+  const std::uint32_t tenants = 5;
+  const std::size_t capacity = 32;
+  const Trace trace = zipf_trace(tenants, 24, 6000, 89);
+  const auto costs = quadratic_costs(tenants);
+
+  for (const std::size_t shards : {1u, 3u}) {
+    ShardedCache locked(options_for(capacity, shards, tenants),
+                        make_convex_factory(), &costs);
+    std::vector<StepEvent> expected;
+    locked.access_batch(trace.requests(), expected);
+
+    ShardedCache seqlock(seqlock_options(capacity, shards, tenants),
+                         make_convex_factory(), &costs);
+    std::vector<StepEvent> events;
+    std::mt19937 rng(17 + shards);
+    std::uniform_int_distribution<std::size_t> batch_size(1, 113);
+    std::size_t begin = 0;
+    while (begin < trace.size()) {
+      const std::size_t count =
+          std::min(batch_size(rng), trace.size() - begin);
+      seqlock.access_batch(
+          std::span<const Request>(&trace.requests()[begin], count), events);
+      begin += count;
+    }
+
+    ASSERT_EQ(events.size(), expected.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(events[i].request, expected[i].request)
+          << "shards=" << shards << " i=" << i;
+      ASSERT_EQ(events[i].hit, expected[i].hit)
+          << "shards=" << shards << " i=" << i;
+      ASSERT_EQ(events[i].victim, expected[i].victim)
+          << "shards=" << shards << " i=" << i;
+      ASSERT_EQ(events[i].victim_owner, expected[i].victim_owner)
+          << "shards=" << shards << " i=" << i;
+    }
+    EXPECT_GT(seqlock.aggregated_perf().lockfree_hits, 0u);
+  }
+}
+
+// Rebalancing rebuilds the residency tables and re-bases freshness; the
+// replay must stay identical to a locked twin driven through the same
+// access/rebalance schedule.
+TEST(ShardedCacheSeqlock, RebalancePreservesDeterminismAndBooks) {
+  const std::uint32_t tenants = 8;
+  const std::size_t capacity = 64;
+  const auto costs = quadratic_costs(tenants);
+  auto locked_options = options_for(capacity, 4, tenants);
+  locked_options.min_shard_capacity = 4;
+  auto opt_options = seqlock_options(capacity, 4, tenants);
+  opt_options.min_shard_capacity = 4;
+  ShardedCache locked(locked_options, make_convex_factory(), &costs);
+  ShardedCache seqlock(opt_options, make_convex_factory(), &costs);
+
+  std::size_t total = 0;
+  for (int round = 0; round < 4; ++round) {
+    const Trace trace =
+        zipf_trace(tenants, 32, 3000, 200 + static_cast<std::uint64_t>(round));
+    for (const Request& request : trace) {
+      const StepEvent expected = locked.access(request);
+      const StepEvent actual = seqlock.access(request);
+      ASSERT_EQ(actual.hit, expected.hit) << "round " << round;
+      ASSERT_EQ(actual.victim, expected.victim) << "round " << round;
+    }
+    total += trace.size();
+    locked.rebalance();
+    seqlock.rebalance();
+    EXPECT_EQ(locked.capacities(), seqlock.capacities()) << "round " << round;
+  }
+
+  const Metrics a = locked.aggregated_metrics();
+  const Metrics b = seqlock.aggregated_metrics();
+  EXPECT_EQ(b.total_hits() + b.total_misses(), total);
+  for (TenantId t = 0; t < tenants; ++t) {
+    EXPECT_EQ(a.hits(t), b.hits(t));
+    EXPECT_EQ(a.misses(t), b.misses(t));
+  }
+  EXPECT_DOUBLE_EQ(locked.global_miss_cost(), seqlock.global_miss_cost());
+}
+
+// Lock-free hits must show up in every aggregation surface the same way
+// locked hits do: shard_stats, aggregated_metrics and aggregated_perf all
+// fold them in.
+TEST(ShardedCacheSeqlock, LockfreeHitsLandInAllAggregationSurfaces) {
+  const std::uint32_t tenants = 4;
+  const Trace trace = zipf_trace(tenants, 16, 5000, 97);
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(seqlock_options(32, 2, tenants), nullptr, &costs);
+  for (const Request& request : trace) (void)cache.access(request);
+
+  const PerfCounters perf = cache.aggregated_perf();
+  ASSERT_GT(perf.lockfree_hits, 0u);
+  EXPECT_EQ(perf.requests, trace.size());
+
+  const Metrics m = cache.aggregated_metrics();
+  EXPECT_EQ(m.total_hits() + m.total_misses(), trace.size());
+
+  const auto stats = cache.shard_stats();
+  std::uint64_t shard_accesses = 0;
+  for (const ShardStats& s : stats) shard_accesses += s.hits + s.misses;
+  EXPECT_EQ(shard_accesses, trace.size());
+  EXPECT_EQ(std::accumulate(stats.begin(), stats.end(), std::uint64_t{0},
+                            [](std::uint64_t acc, const ShardStats& s) {
+                              return acc + s.hits;
+                            }),
+            m.total_hits());
+}
+
+// The seqlock TSan target: concurrent writers (mixed single/batched
+// access) race the lock-free read path against evictions and periodic
+// rebalances. Under TSan any mis-fenced table access shows up here; in a
+// plain build it still proves conservation under real contention.
+TEST(ShardedCacheSeqlock, ConcurrentStressWithRebalanceIsRaceFreeAndConserving) {
+  const std::uint32_t tenants = 8;
+  const std::size_t writers = 4;
+  const std::size_t requests_per_writer = 4000;
+  const auto costs = quadratic_costs(tenants);
+  auto options = seqlock_options(64, 8, tenants);
+  options.min_shard_capacity = 2;
+  ShardedCache cache(options, make_convex_factory(), &costs);
+
+  std::vector<Trace> traces;
+  for (std::size_t w = 0; w < writers; ++w)
+    traces.push_back(
+        zipf_trace(tenants, 24, requests_per_writer, 5000 + 17 * w));
+
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(writers + 1);
+  for (std::size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(100 + w));
+      std::uniform_int_distribution<std::size_t> batch_size(1, 53);
+      const std::vector<Request>& requests = traces[w].requests();
+      std::size_t begin = 0;
+      while (begin < requests.size()) {
+        const std::size_t count =
+            std::min(batch_size(rng), requests.size() - begin);
+        if (count == 1) {
+          (void)cache.access(requests[begin]);
+        } else {
+          cache.access_batch(
+              std::span<const Request>(&requests[begin], count));
+        }
+        sent.fetch_add(count, std::memory_order_relaxed);
+        begin += count;
+        if (begin % 512 == 0) {
+          (void)cache.shard_stats();
+          (void)cache.aggregated_perf();
+        }
+      }
+    });
+  }
+  // Control thread: rebalances race the optimistic readers — the per-shard
+  // odd seq windows must force them onto the locked path, never into a
+  // torn table read.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      cache.rebalance();
+      std::this_thread::yield();
+    }
+  });
+  for (std::size_t w = 0; w < writers; ++w) threads[w].join();
+  done.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const Metrics m = cache.aggregated_metrics();
+  EXPECT_EQ(sent.load(), writers * requests_per_writer);
+  EXPECT_EQ(m.total_hits() + m.total_misses(),
+            writers * requests_per_writer);
+  const PerfCounters perf = cache.aggregated_perf();
+  EXPECT_EQ(perf.requests, writers * requests_per_writer);
+  const auto caps = cache.capacities();
+  EXPECT_EQ(std::accumulate(caps.begin(), caps.end(), std::size_t{0}), 64u);
 }
 
 }  // namespace
