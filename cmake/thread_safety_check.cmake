@@ -1,0 +1,52 @@
+# Negative-compile proof that the thread-safety annotations actually bite.
+#
+# A thread-safety gate can rot in two silent ways: the attributes stop
+# being emitted (macro regression, compiler change) or the warning flag
+# stops being an error. Either way the CI job keeps passing while checking
+# nothing. This module try_compiles one probe source twice at configure
+# time:
+#
+#   1. positive: locked access to a CCC_GUARDED_BY field — must COMPILE;
+#   2. negative: the same field read without the lock
+#      (-DCCC_NEGATIVE_UNLOCKED_ACCESS) — must FAIL under
+#      -Wthread-safety -Werror=thread-safety.
+#
+# If the negative probe compiles, the analysis is inert and configuration
+# aborts — the gate refuses to pretend.
+
+function(ccc_assert_thread_safety_bites)
+  set(probe_src ${CMAKE_SOURCE_DIR}/tests/negative_compile/guarded_access.cpp)
+  set(probe_flags
+      -Wthread-safety -Werror=thread-safety
+      -I${CMAKE_SOURCE_DIR}/src)
+
+  try_compile(ccc_ts_positive_ok
+    ${CMAKE_BINARY_DIR}/ts_probe_positive
+    ${probe_src}
+    COMPILE_DEFINITIONS "${probe_flags}"
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE ccc_ts_positive_log)
+  if(NOT ccc_ts_positive_ok)
+    message(FATAL_ERROR
+            "thread-safety probe failed to compile in its CORRECT form — "
+            "the annotation headers are broken:\n${ccc_ts_positive_log}")
+  endif()
+
+  try_compile(ccc_ts_negative_ok
+    ${CMAKE_BINARY_DIR}/ts_probe_negative
+    ${probe_src}
+    COMPILE_DEFINITIONS "${probe_flags};-DCCC_NEGATIVE_UNLOCKED_ACCESS"
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON)
+  if(ccc_ts_negative_ok)
+    message(FATAL_ERROR
+            "thread-safety probe COMPILED with an unlocked access to a "
+            "CCC_GUARDED_BY field — the analysis is inert (macro regression "
+            "or missing -Werror=thread-safety) and the gate would check "
+            "nothing.")
+  endif()
+  message(STATUS
+          "Thread-safety annotations verified: unlocked guarded access is "
+          "rejected at compile time")
+endfunction()
+
+ccc_assert_thread_safety_bites()

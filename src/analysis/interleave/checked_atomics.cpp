@@ -1,0 +1,131 @@
+#include "analysis/interleave/checked_atomics.hpp"
+
+namespace ccc::interleave {
+
+namespace {
+
+thread_local ModelContext* g_current_context = nullptr;
+
+/// DFS safety valve: the seqlock scripts explore a few thousand
+/// executions; hitting this bound means a script (or model change) blew
+/// up the reads-from space and needs rethinking, not silent hours of CPU.
+constexpr std::uint64_t kMaxExecutions = 1u << 22;
+
+}  // namespace
+
+ScopedModelContext::ScopedModelContext(ModelContext& ctx)
+    : previous_(g_current_context) {
+  g_current_context = &ctx;
+}
+
+ScopedModelContext::~ScopedModelContext() { g_current_context = previous_; }
+
+ModelContext& ScopedModelContext::current() {
+  CCC_CHECK(g_current_context != nullptr,
+            "CheckedAtomics used outside a ScopedModelContext");
+  return *g_current_context;
+}
+
+LocationId ModelContext::register_location(std::uint64_t initial) {
+  const LocationId loc = locations_.size();
+  LocationHistory history;
+  StoreRec init;
+  init.value = initial;
+  init.global_seq = 0;  // before every real store
+  history.stores.push_back(std::move(init));
+  locations_.push_back(std::move(history));
+  return loc;
+}
+
+std::uint64_t ModelContext::record_load(LocationId loc) const {
+  CCC_CHECK(mode == Mode::kRecord, "record_load outside record mode");
+  // The writer is the only mutator (it holds the shard mutex in
+  // production), so it always observes its own latest store.
+  return locations_[loc].stores.back().value;
+}
+
+void ModelContext::record_store(LocationId loc, std::uint64_t value,
+                                bool release) {
+  CCC_CHECK(mode == Mode::kRecord,
+            "stores are writer-side only; the explored reader is read-only");
+  StoreRec rec;
+  rec.value = value;
+  rec.global_seq = next_global_++;
+  // Release store: synchronizing with it yields everything the writer has
+  // done so far. Relaxed store: only what precedes the writer's last
+  // release fence (the open_window fence is what hands in-window stores
+  // their "the window is open" payload).
+  rec.sync = release ? writer_clock_ : writer_release_fence_;
+  const StoreIndex index = locations_[loc].stores.size();
+  if (release) rec.sync.raise(loc, index);
+  locations_[loc].stores.push_back(std::move(rec));
+  writer_clock_.raise(loc, index);
+}
+
+void ModelContext::record_release_fence() {
+  writer_release_fence_ = writer_clock_;
+}
+
+void ModelContext::begin_exploration() {
+  mode = Mode::kExplore;
+  path_.clear();
+  first_execution_ = true;
+  executions_ = 0;
+}
+
+bool ModelContext::next_execution() {
+  CCC_CHECK(mode == Mode::kExplore, "next_execution outside explore mode");
+  if (!first_execution_) {
+    // Advance the DFS: drop exhausted trailing choices, bump the deepest
+    // live one. An empty path means the reads-from space is exhausted.
+    while (!path_.empty() && path_.back().chosen == path_.back().max)
+      path_.pop_back();
+    if (path_.empty()) return false;
+    ++path_.back().chosen;
+  }
+  first_execution_ = false;
+  CCC_CHECK(executions_ < kMaxExecutions,
+            "reads-from exploration exceeded the execution bound");
+  ++executions_;
+  view_.clear();
+  pending_.clear();
+  read_floor_ = 0;
+  depth_ = 0;
+  return true;
+}
+
+std::uint64_t ModelContext::explore_load(LocationId loc, bool acquire) {
+  const LocationHistory& history = locations_[loc];
+  const StoreIndex lo = view_.floor(loc);
+  const StoreIndex hi = history.stores.size() - 1;
+  CCC_CHECK(lo <= hi, "coherence floor above the latest store");
+  if (depth_ == path_.size()) {
+    // First time this execution reaches this decision point: take the
+    // oldest admissible store; later executions will sweep to `hi`.
+    path_.push_back(Choice{lo, hi});
+  } else {
+    // Replayed prefix: the candidate range is a function of the earlier
+    // choices, so it must be identical to when the choice was recorded.
+    CCC_CHECK(path_[depth_].chosen >= lo && path_[depth_].max == hi,
+              "nondeterministic replay of the reader under exploration");
+  }
+  const StoreIndex chosen = path_[depth_].chosen;
+  ++depth_;
+  const StoreRec& rec = history.stores[chosen];
+  view_.raise(loc, chosen);  // coherence: never read backwards
+  if (acquire) {
+    view_.join(rec.sync);
+  } else {
+    pending_.join(rec.sync);
+  }
+  if (read_floor_ < rec.global_seq) read_floor_ = rec.global_seq;
+  return rec.value;
+}
+
+void ModelContext::explore_acquire_fence() {
+  // Pairs with the writer's release fences: everything stashed by
+  // relaxed loads becomes ordering-effective now.
+  view_.join(pending_);
+}
+
+}  // namespace ccc::interleave

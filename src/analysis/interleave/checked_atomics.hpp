@@ -1,0 +1,179 @@
+#pragma once
+/// \file checked_atomics.hpp
+/// \brief Model-checked atomics policy for SeqlockResidencyTable: a
+///        drop-in replacement for StdAtomics whose loads/stores run
+///        against the operational memory model in memory_model.hpp.
+///
+/// Usage (see seqlock_model.hpp for the full harness):
+///   1. Create a ModelContext and make it current (ScopedModelContext).
+///   2. Construct `SeqlockResidencyTable<CheckedAtomics, Config>` — every
+///      Atomic member registers itself as a model location.
+///   3. kRecord mode: run the writer script; each store appends to its
+///      location's modification order with the proper sync clock; loads
+///      return the latest value (the writer is the only mutator, exactly
+///      as in production where it holds the shard mutex).
+///   4. kExplore mode: run the reader (`try_fresh_hit`) repeatedly via
+///      ModelContext::next_execution(); each load *branches* over every
+///      store the memory model permits, driven by a DFS choice stack, so
+///      the set of runs is exactly the set of reads-from assignments a
+///      real concurrent reader could observe.
+///
+/// Why this is exhaustive without a thread scheduler: the seqlock writer
+/// is mutex-serialized and never loads anything a reader writes, so its
+/// store history is the same in every interleaving — recording it once
+/// loses nothing. All reader/writer nondeterminism is then *which* store
+/// each reader load reads, which the DFS enumerates completely (timing is
+/// subsumed by staleness). Readers are mutually independent (the only
+/// cross-reader state, the lockfree-hit tally, lives outside the table),
+/// so one reader suffices. DESIGN.md §11 spells out the reduction.
+///
+/// CheckedAtomics::Atomic deliberately implements ONLY the operations the
+/// protocol uses (load/store); if the protocol ever grows an RMW, this
+/// policy stops compiling — the cue to extend the model rather than
+/// silently under-check (the model has no RMW semantics).
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/interleave/memory_model.hpp"
+#include "util/check.hpp"
+
+namespace ccc::interleave {
+
+/// Recording/exploration state for one checked table instance.
+class ModelContext {
+ public:
+  enum class Mode { kRecord, kExplore };
+
+  ModelContext() = default;
+  ModelContext(const ModelContext&) = delete;
+  ModelContext& operator=(const ModelContext&) = delete;
+
+  // -- location registry (Atomic constructors, any mode) -------------- //
+  LocationId register_location(std::uint64_t initial);
+
+  // -- writer side (kRecord) ------------------------------------------ //
+  [[nodiscard]] std::uint64_t record_load(LocationId loc) const;
+  void record_store(LocationId loc, std::uint64_t value, bool release);
+  void record_release_fence();
+
+  /// Global store-order position the *next* store will get. The harness
+  /// snapshots this before each writer op to timestamp truth changes.
+  [[nodiscard]] std::uint64_t next_global() const { return next_global_; }
+
+  // -- reader side (kExplore) ----------------------------------------- //
+  /// Switches to explore mode and resets the DFS (the recorded store
+  /// histories are kept — they are what the reader explores against).
+  void begin_exploration();
+  /// Starts (or advances to) the next unexplored reader execution.
+  /// Returns false when the reads-from space is exhausted. Call in a
+  /// loop, running the reader function after each true return.
+  [[nodiscard]] bool next_execution();
+  [[nodiscard]] std::uint64_t explore_load(LocationId loc, bool acquire);
+  void explore_acquire_fence();
+  /// max global_seq over all stores this execution's loads read — the
+  /// earliest writer-history instant the reader may serialize at.
+  [[nodiscard]] std::uint64_t read_floor() const { return read_floor_; }
+  /// Number of completed reader executions (diagnostics / bound checks).
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+
+  Mode mode = Mode::kRecord;
+
+ private:
+  struct Choice {
+    StoreIndex chosen;
+    StoreIndex max;  // inclusive upper bound at decision time
+  };
+
+  std::vector<LocationHistory> locations_;
+  std::uint64_t next_global_ = 1;  // 0 is reserved for initial values
+
+  // Writer (kRecord): its clock is simply "sees everything it stored",
+  // i.e. the latest index per location; kept incrementally.
+  Clock writer_clock_;
+  Clock writer_release_fence_;  // snapshot at the last release fence
+
+  // Reader (kExplore): per-execution state, reset by next_execution().
+  Clock view_;
+  Clock pending_;
+  std::uint64_t read_floor_ = 0;
+  std::vector<Choice> path_;
+  std::size_t depth_ = 0;
+  bool first_execution_ = true;
+  std::uint64_t executions_ = 0;
+};
+
+/// Installs a ModelContext as the thread's current one for the duration
+/// of a scope; CheckedAtomics::Atomic operations route to it.
+class ScopedModelContext {
+ public:
+  explicit ScopedModelContext(ModelContext& ctx);
+  ~ScopedModelContext();
+  ScopedModelContext(const ScopedModelContext&) = delete;
+  ScopedModelContext& operator=(const ScopedModelContext&) = delete;
+
+  [[nodiscard]] static ModelContext& current();
+
+ private:
+  ModelContext* previous_;
+};
+
+/// Atomics policy plugging SeqlockResidencyTable into the model.
+struct CheckedAtomics {
+  template <typename T>
+  class Atomic {
+    static_assert(sizeof(T) == sizeof(std::uint64_t),
+                  "the model tracks 64-bit locations only");
+
+   public:
+    Atomic() : loc_(ScopedModelContext::current().register_location(0)) {}
+
+    [[nodiscard]] T load(std::memory_order mo) const {
+      ModelContext& ctx = ScopedModelContext::current();
+      if (ctx.mode == ModelContext::Mode::kRecord)
+        return static_cast<T>(ctx.record_load(loc_));
+      // seq_cst would be modeled as acquire (documented divergence); the
+      // protocol never uses it on loads, so keep the model honest.
+      CCC_CHECK(mo != std::memory_order_seq_cst,
+                "seq_cst loads are not modeled");
+      // Anything stronger than relaxed synchronizes (seq_cst excluded
+      // above; consume is not used by the protocol).
+      return static_cast<T>(
+          ctx.explore_load(loc_, mo != std::memory_order_relaxed));
+    }
+
+    void store(T value, std::memory_order mo) {
+      ModelContext& ctx = ScopedModelContext::current();
+      CCC_CHECK(ctx.mode == ModelContext::Mode::kRecord,
+                "the explored reader must not store (try_fresh_hit is "
+                "read-only by construction)");
+      // Release-or-stronger carries the writer clock; seq_cst is modeled
+      // as release on the store side (documented divergence).
+      const bool release = mo == std::memory_order_release ||
+                           mo == std::memory_order_seq_cst ||
+                           mo == std::memory_order_acq_rel;
+      ctx.record_store(loc_, static_cast<std::uint64_t>(value), release);
+    }
+
+   private:
+    LocationId loc_;
+  };
+
+  static void fence_acquire() {
+    ModelContext& ctx = ScopedModelContext::current();
+    CCC_CHECK(ctx.mode == ModelContext::Mode::kExplore,
+              "the recorded writer issues no acquire fences");
+    ctx.explore_acquire_fence();
+  }
+
+  static void fence_release() {
+    ModelContext& ctx = ScopedModelContext::current();
+    CCC_CHECK(ctx.mode == ModelContext::Mode::kRecord,
+              "the explored reader issues no release fences");
+    ctx.record_release_fence();
+  }
+};
+
+}  // namespace ccc::interleave

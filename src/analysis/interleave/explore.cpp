@@ -1,0 +1,167 @@
+#include "analysis/interleave/explore.hpp"
+
+#include <utility>
+
+namespace ccc::interleave {
+
+LitmusOp load(LocationId loc, std::size_t reg, LitmusOp::Order order) {
+  LitmusOp op;
+  op.kind = LitmusOp::Kind::kLoad;
+  op.loc = loc;
+  op.reg = reg;
+  op.order = order;
+  return op;
+}
+
+LitmusOp store(LocationId loc, std::uint64_t value, LitmusOp::Order order) {
+  LitmusOp op;
+  op.kind = LitmusOp::Kind::kStore;
+  op.loc = loc;
+  op.value = value;
+  op.order = order;
+  return op;
+}
+
+LitmusOp fence_acquire() {
+  LitmusOp op;
+  op.kind = LitmusOp::Kind::kFenceAcquire;
+  return op;
+}
+
+LitmusOp fence_release() {
+  LitmusOp op;
+  op.kind = LitmusOp::Kind::kFenceRelease;
+  return op;
+}
+
+std::set<std::vector<std::uint64_t>> LitmusExplorer::explore(
+    const LitmusProgram& program, std::size_t num_locations,
+    const std::vector<std::size_t>& num_registers) {
+  CCC_REQUIRE(num_registers.size() == program.size(),
+              "one register count per thread");
+  outcomes_.clear();
+  seen_.clear();
+  pruned_ = 0;
+  visited_ = 0;
+  State initial;
+  initial.memory.resize(num_locations);
+  for (LocationHistory& history : initial.memory) {
+    StoreRec init;  // all locations start at 0, visible to everyone
+    history.stores.push_back(std::move(init));
+  }
+  initial.threads.resize(program.size());
+  for (std::size_t t = 0; t < program.size(); ++t)
+    initial.threads[t].registers.assign(num_registers[t], 0);
+  dfs(program, initial);
+  return outcomes_;
+}
+
+void LitmusExplorer::dfs(const LitmusProgram& program, const State& state) {
+  // Exact-state memo: a revisited state reaches exactly the same set of
+  // outcomes, so the whole subtree can be pruned.
+  if (!seen_.insert(fingerprint(state)).second) {
+    ++pruned_;
+    return;
+  }
+  ++visited_;
+  CCC_CHECK(visited_ < (1u << 24),
+            "litmus exploration exceeded the node bound — program too big");
+  bool done = true;
+  for (std::size_t t = 0; t < program.size(); ++t) {
+    if (state.threads[t].pc >= program[t].size()) continue;
+    done = false;
+    const LitmusOp& op = program[t][state.threads[t].pc];
+    switch (op.kind) {
+      case LitmusOp::Kind::kStore: {
+        State next = state;
+        ThreadState& self = next.threads[t];
+        LocationHistory& history = next.memory[op.loc];
+        StoreRec rec;
+        rec.value = op.value;
+        // Modification order is the order stores are executed in this
+        // schedule; with multiple writers per location every order shows
+        // up as some schedule, so outcomes are not lost (DESIGN.md §11).
+        rec.sync = op.order == LitmusOp::Order::kSync ? self.view
+                                                      : self.release_fence;
+        const StoreIndex index = history.stores.size();
+        if (op.order == LitmusOp::Order::kSync) rec.sync.raise(op.loc, index);
+        history.stores.push_back(std::move(rec));
+        self.view.raise(op.loc, index);  // a thread sees its own stores
+        ++self.pc;
+        dfs(program, next);
+        break;
+      }
+      case LitmusOp::Kind::kLoad: {
+        // Branch over every store coherence + happens-before admit.
+        const LocationHistory& history = state.memory[op.loc];
+        const StoreIndex lo = state.threads[t].view.floor(op.loc);
+        for (StoreIndex i = lo; i < history.stores.size(); ++i) {
+          State next = state;
+          ThreadState& self = next.threads[t];
+          const StoreRec& rec = next.memory[op.loc].stores[i];
+          self.registers[op.reg] = rec.value;
+          self.view.raise(op.loc, i);
+          if (op.order == LitmusOp::Order::kSync) {
+            self.view.join(rec.sync);
+          } else {
+            self.pending.join(rec.sync);
+          }
+          ++self.pc;
+          dfs(program, next);
+        }
+        break;
+      }
+      case LitmusOp::Kind::kFenceAcquire: {
+        State next = state;
+        ThreadState& self = next.threads[t];
+        self.view.join(self.pending);
+        ++self.pc;
+        dfs(program, next);
+        break;
+      }
+      case LitmusOp::Kind::kFenceRelease: {
+        State next = state;
+        ThreadState& self = next.threads[t];
+        self.release_fence = self.view;
+        ++self.pc;
+        dfs(program, next);
+        break;
+      }
+    }
+  }
+  if (done) {
+    std::vector<std::uint64_t> outcome;
+    for (const ThreadState& thread : state.threads)
+      outcome.insert(outcome.end(), thread.registers.begin(),
+                     thread.registers.end());
+    outcomes_.insert(std::move(outcome));
+  }
+}
+
+std::string LitmusExplorer::fingerprint(const State& state) {
+  // Exact serialization of the full state — used as the memo key.
+  std::string key;
+  const auto put = [&key](std::uint64_t v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  for (const LocationHistory& history : state.memory) {
+    put(history.stores.size());
+    for (const StoreRec& rec : history.stores) {
+      put(rec.value);
+      for (std::size_t l = 0; l < state.memory.size(); ++l)
+        put(rec.sync.floor(l));
+    }
+  }
+  for (const ThreadState& thread : state.threads) {
+    put(thread.pc);
+    for (std::size_t l = 0; l < state.memory.size(); ++l) {
+      put(thread.view.floor(l));
+      put(thread.pending.floor(l));
+      put(thread.release_fence.floor(l));
+    }
+    for (const std::uint64_t reg : thread.registers) put(reg);
+  }
+  return key;
+}
+
+}  // namespace ccc::interleave

@@ -1,0 +1,87 @@
+#pragma once
+/// \file explore.hpp
+/// \brief LitmusExplorer: exhaustive N-thread exploration of small
+///        op-list programs under the memory model in memory_model.hpp —
+///        the self-test rig that pins the model's visibility rules
+///        against litmus tests with known outcomes (SB, MP, LB,
+///        coherence; see tests/test_interleave_engine.cpp).
+///
+/// Unlike the seqlock checker's writer-first reduction (one recorded
+/// writer, one explored reader — checked_atomics.hpp), this engine
+/// explores the full product of thread schedules × reads-from choices
+/// with DFS and prunes revisited states via exact state hashing. That is
+/// exponential in general and only meant for programs of a handful of
+/// ops per thread; its job is to validate the *model*, not the protocol.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/interleave/memory_model.hpp"
+
+namespace ccc::interleave {
+
+/// One instruction of a litmus program.
+struct LitmusOp {
+  enum class Kind { kLoad, kStore, kFenceAcquire, kFenceRelease };
+  /// Memory order strength for loads/stores; fences ignore it.
+  enum class Order { kRelaxed, kSync };  // kSync = acquire (load) / release (store)
+
+  Kind kind = Kind::kLoad;
+  LocationId loc = 0;
+  std::uint64_t value = 0;   ///< stores: the value written
+  std::size_t reg = 0;       ///< loads: destination register index
+  Order order = Order::kRelaxed;
+};
+
+/// Convenience constructors for readable litmus tables.
+[[nodiscard]] LitmusOp load(LocationId loc, std::size_t reg,
+                            LitmusOp::Order order);
+[[nodiscard]] LitmusOp store(LocationId loc, std::uint64_t value,
+                             LitmusOp::Order order);
+[[nodiscard]] LitmusOp fence_acquire();
+[[nodiscard]] LitmusOp fence_release();
+
+/// A program: one op list per thread. Thread t's registers live in
+/// `registers[t]`; the final outcome flattens them in thread order.
+using LitmusProgram = std::vector<std::vector<LitmusOp>>;
+
+/// Exhaustively explores `program` over `num_locations` zero-initialized
+/// locations and returns every reachable final register valuation
+/// (flattened thread-major). `num_registers[t]` sizes thread t's file.
+class LitmusExplorer {
+ public:
+  [[nodiscard]] std::set<std::vector<std::uint64_t>> explore(
+      const LitmusProgram& program, std::size_t num_locations,
+      const std::vector<std::size_t>& num_registers);
+
+  /// States pruned by the exact-state memo during the last explore().
+  [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
+  /// DFS nodes visited during the last explore().
+  [[nodiscard]] std::uint64_t visited() const { return visited_; }
+
+ private:
+  struct ThreadState {
+    std::size_t pc = 0;
+    Clock view;           ///< coherence floors + acquired happens-before
+    Clock pending;        ///< relaxed-load sync clocks awaiting a fence
+    Clock release_fence;  ///< clock snapshot at the last release fence
+    std::vector<std::uint64_t> registers;
+  };
+
+  struct State {
+    std::vector<LocationHistory> memory;
+    std::vector<ThreadState> threads;
+  };
+
+  void dfs(const LitmusProgram& program, const State& state);
+  [[nodiscard]] static std::string fingerprint(const State& state);
+
+  std::set<std::vector<std::uint64_t>> outcomes_;
+  std::set<std::string> seen_;
+  std::uint64_t pruned_ = 0;
+  std::uint64_t visited_ = 0;
+};
+
+}  // namespace ccc::interleave

@@ -1,0 +1,109 @@
+#pragma once
+/// \file memory_model.hpp
+/// \brief Operational C++11-subset memory model for the seqlock checker:
+///        per-location store histories + vector clocks encoding
+///        acquire/release/relaxed visibility and the two standalone
+///        fences. DESIGN.md §11 states precisely what is and is not
+///        modeled.
+///
+/// The model is the relaxed-memory core shared by the two exploration
+/// engines in this directory:
+///   - ModelContext (this file + checked_atomics.hpp) records the seqlock
+///     writer's store history once, then exhaustively enumerates every
+///     reads-from assignment a concurrent reader could observe
+///     (explore.hpp wraps the DFS).
+///   - LitmusExplorer (explore.hpp) runs small N-thread op-list programs
+///     under the same visibility rules — its litmus suite (SB, MP with
+///     release/acquire and with fences, LB, coherence) pins the model's
+///     semantics against known allowed/forbidden outcomes.
+///
+/// Semantics, in brief:
+///   - Each atomic location carries its full modification order as a store
+///     list; store i is the i-th element. A thread's Clock holds, per
+///     location, a coherence floor: the earliest store it may still read.
+///   - A release store captures the storing thread's clock as the store's
+///     `sync` clock; a relaxed store captures the clock saved at the
+///     thread's last release *fence* (empty if none). An acquire load
+///     joins the read store's sync clock into the reader's clock
+///     immediately; a relaxed load stashes it in `pending`, which an
+///     acquire *fence* later joins in. This is exactly the
+///     release-fence/acquire-fence pairing the seqlock windows rely on.
+///   - Reading store i raises the location's floor to i (coherence:
+///     per-location reads never go backwards).
+/// Deliberate simplifications (checked against in DESIGN.md §11):
+///   - seq_cst is treated as acq_rel (no total SC order; the protocol
+///     under test uses none).
+///   - No RMW operations (CheckedAtomics simply doesn't provide them, so
+///     a protocol change that introduced one fails to compile here).
+///   - No load buffering: a load only reads stores that exist, so
+///     cycles where two loads each read a program-order-later store of
+///     the other thread (LB (1,1)) are unrepresentable.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccc::interleave {
+
+using LocationId = std::size_t;
+using StoreIndex = std::size_t;
+
+/// Vector clock over locations: `floor[l]` is the index of the earliest
+/// store of location l this thread may still read (coherence + acquired
+/// happens-before edges). Missing entries mean 0 (anything visible).
+class Clock {
+ public:
+  void ensure(std::size_t locations) {
+    if (floor_.size() < locations) floor_.resize(locations, 0);
+  }
+
+  [[nodiscard]] StoreIndex floor(LocationId loc) const {
+    return loc < floor_.size() ? floor_[loc] : 0;
+  }
+
+  void raise(LocationId loc, StoreIndex at) {
+    ensure(loc + 1);
+    if (floor_[loc] < at) floor_[loc] = at;
+  }
+
+  /// Pointwise max — the happens-before join.
+  void join(const Clock& other) {
+    ensure(other.floor_.size());
+    for (std::size_t l = 0; l < other.floor_.size(); ++l)
+      if (floor_[l] < other.floor_[l]) floor_[l] = other.floor_[l];
+  }
+
+  void clear() { floor_.clear(); }
+
+  [[nodiscard]] bool operator==(const Clock& other) const {
+    const std::size_t n = std::max(floor_.size(), other.floor_.size());
+    for (std::size_t l = 0; l < n; ++l)
+      if (floor(l) != other.floor(l)) return false;
+    return true;
+  }
+
+ private:
+  std::vector<StoreIndex> floor_;
+};
+
+/// One store in a location's modification order.
+struct StoreRec {
+  std::uint64_t value = 0;
+  /// Position in the writer's global store order (0 for the initial
+  /// value); the serializability check uses max-over-read-stores of this
+  /// as the earliest instant the reader may serialize at.
+  std::uint64_t global_seq = 0;
+  /// Visibility payload: what a reader learns by synchronizing with this
+  /// store (release store → storing thread's clock; relaxed store → the
+  /// thread's last release-fence clock).
+  Clock sync;
+};
+
+/// A location's full modification order. Index 0 is the initial value.
+struct LocationHistory {
+  std::vector<StoreRec> stores;
+};
+
+}  // namespace ccc::interleave

@@ -1,0 +1,20 @@
+#include "analysis/interleave/seqlock_model.hpp"
+
+namespace ccc::interleave {
+
+std::vector<std::uint64_t> colliding_pages(std::size_t count,
+                                           std::size_t mask) {
+  CCC_REQUIRE(count > 0, "need at least one page");
+  std::vector<std::uint64_t> pages;
+  const std::size_t target =
+      static_cast<std::size_t>(util::splitmix64(1)) & mask;
+  for (std::uint64_t id = 1; pages.size() < count; ++id) {
+    CCC_CHECK(id < (1u << 20),
+              "collision search exhausted — mask too sparse for count");
+    if ((static_cast<std::size_t>(util::splitmix64(id)) & mask) == target)
+      pages.push_back(id);
+  }
+  return pages;
+}
+
+}  // namespace ccc::interleave

@@ -13,6 +13,13 @@
 ///
 /// Families are emitted in registration order. Within a family, samples
 /// keep insertion order too, so output is deterministic and diffable.
+///
+/// Thread-safety contract: externally synchronized. A registry is built
+/// and serialized by one thread at a time (snapshot-at-exposition by
+/// design, see above), so it carries no mutex and no CCC_GUARDED_BY
+/// annotations — adding a lock here would suggest the hot path may touch
+/// it concurrently, which is exactly what the design rules out
+/// (DESIGN.md §11).
 
 #include <cstdint>
 #include <iosfwd>

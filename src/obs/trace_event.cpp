@@ -21,6 +21,9 @@ std::uint64_t thread_tid() {
 TraceEventWriter::TraceEventWriter(std::ostream& os, std::uint64_t max_events)
     : os_(&os), start_(std::chrono::steady_clock::now()),
       max_events_(max_events) {
+  // No other thread has the writer yet; the lock satisfies the analysis
+  // for the guarded stream write.
+  const util::MutexLock lock(mutex_);
   *os_ << "[";
 }
 
@@ -29,6 +32,7 @@ TraceEventWriter::TraceEventWriter(const std::string& path,
     : owned_(std::make_unique<std::ofstream>(path)),
       os_(owned_.get()), start_(std::chrono::steady_clock::now()),
       max_events_(max_events) {
+  const util::MutexLock lock(mutex_);  // pre-publication, as above
   if (!*os_)
     throw std::runtime_error("CCC_OBS_TRACE: cannot write trace file " +
                              path);
@@ -36,6 +40,8 @@ TraceEventWriter::TraceEventWriter(const std::string& path,
 }
 
 std::unique_ptr<TraceEventWriter> TraceEventWriter::from_env() {
+  // getenv is racy only against setenv; this process never calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* path = std::getenv("CCC_OBS_TRACE");
   if (path == nullptr || *path == '\0') return nullptr;
   return std::make_unique<TraceEventWriter>(std::string(path));
@@ -50,9 +56,15 @@ std::uint64_t TraceEventWriter::now_us() const noexcept {
           .count());
 }
 
-std::uint64_t TraceEventWriter::emitted() const noexcept { return emitted_; }
+std::uint64_t TraceEventWriter::emitted() const {
+  const util::MutexLock lock(mutex_);
+  return emitted_;
+}
 
-std::uint64_t TraceEventWriter::dropped() const noexcept { return dropped_; }
+std::uint64_t TraceEventWriter::dropped() const {
+  const util::MutexLock lock(mutex_);
+  return dropped_;
+}
 
 bool TraceEventWriter::admit_locked() {
   if (finished_) return false;
@@ -91,7 +103,7 @@ void TraceEventWriter::complete_event(std::string_view name,
                                       std::string_view category,
                                       std::uint64_t ts_us,
                                       std::uint64_t dur_us, Args args) {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!admit_locked()) return;
   write_prefix(name, category, 'X', ts_us);
   *os_ << ", \"dur\": " << dur_us;
@@ -101,7 +113,7 @@ void TraceEventWriter::complete_event(std::string_view name,
 void TraceEventWriter::instant_event(std::string_view name,
                                      std::string_view category,
                                      std::uint64_t ts_us, Args args) {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!admit_locked()) return;
   write_prefix(name, category, 'i', ts_us);
   *os_ << ", \"s\": \"t\"";
@@ -109,7 +121,7 @@ void TraceEventWriter::instant_event(std::string_view name,
 }
 
 void TraceEventWriter::finish() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (finished_) return;
   // Truncation is recorded in-band so a capped trace is self-describing.
   if (dropped_ > 0) {

@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ccc::obs {
 
@@ -62,31 +64,36 @@ class TraceEventWriter {
   /// Microseconds elapsed since the writer was constructed.
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
-  /// Events accepted so far (diagnostics/tests).
-  [[nodiscard]] std::uint64_t emitted() const noexcept;
-  /// Events rejected by the cap.
-  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Events accepted so far (diagnostics/tests). Takes the writer mutex —
+  /// the pre-annotation version read the counter unlocked, which the
+  /// thread-safety analysis rightly rejects (a concurrent emit could be
+  /// mid-increment).
+  [[nodiscard]] std::uint64_t emitted() const CCC_EXCLUDES(mutex_);
+  /// Events rejected by the cap (locked, as above).
+  [[nodiscard]] std::uint64_t dropped() const CCC_EXCLUDES(mutex_);
 
   /// Closes the JSON array (also done by the destructor; idempotent).
-  void finish();
+  void finish() CCC_EXCLUDES(mutex_);
 
   static constexpr std::uint64_t kDefaultMaxEvents = 1ULL << 20;
 
  private:
   void write_prefix(std::string_view name, std::string_view category,
-                    char phase, std::uint64_t ts_us);
-  void write_args_and_close(Args args);
-  [[nodiscard]] bool admit_locked();
+                    char phase, std::uint64_t ts_us) CCC_REQUIRES(mutex_);
+  void write_args_and_close(Args args) CCC_REQUIRES(mutex_);
+  [[nodiscard]] bool admit_locked() CCC_REQUIRES(mutex_);
 
   std::unique_ptr<std::ostream> owned_;
-  std::ostream* os_;
-  std::mutex mutex_;
+  /// Set once at construction; the *stream* it points at is written only
+  /// under `mutex_`.
+  std::ostream* os_ CCC_PT_GUARDED_BY(mutex_);
+  mutable util::Mutex mutex_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t max_events_;
-  std::uint64_t emitted_ = 0;
-  std::uint64_t dropped_ = 0;
-  bool first_ = true;
-  bool finished_ = false;
+  std::uint64_t emitted_ CCC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ CCC_GUARDED_BY(mutex_) = 0;
+  bool first_ CCC_GUARDED_BY(mutex_) = true;
+  bool finished_ CCC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ccc::obs

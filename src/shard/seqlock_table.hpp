@@ -1,0 +1,346 @@
+#pragma once
+/// \file seqlock_table.hpp
+/// \brief The seqlock residency-table protocol, extracted from ShardedCache
+///        and parameterized on an atomics policy so the *identical* protocol
+///        code can run (a) in production over `std::atomic` and (b) inside
+///        the exhaustive interleaving checker (src/analysis/interleave) over
+///        checked atomics that model acquire/release/relaxed visibility.
+///
+/// The protocol itself is unchanged from DESIGN.md §10 (Boehm's seqlock
+/// recipe): an open-addressing mirror of shard residency in atomic
+/// `(key, stamp)` arrays, a `seq` word whose odd values mark structural
+/// writes in flight, and an `epoch` bumped on every eviction/rebuild so
+/// `stamp == epoch` means "no eviction since this page's last budget
+/// refresh" — the exact criterion under which a hit is a pure no-op in
+/// ALG-DISCRETE and may be served without the shard mutex.
+///
+/// `SeqlockConfig` exists for the model checker's mutation suite only: each
+/// flag disables one load-bearing ingredient of the protocol (the acquire
+/// fence, the seq revalidation, the odd-window, ...), and
+/// tests/test_seqlock_model.cpp proves the checker rejects every such
+/// mutant while the shipped configuration passes an exhaustive exploration.
+/// Production code always instantiates `kShippedSeqlock`; every deviation
+/// point is an `if constexpr`, so the shipped instantiation compiles to the
+/// exact pre-extraction instruction sequence.
+///
+/// Thread-safety contract: `try_fresh_hit` may be called by any number of
+/// threads with no lock. Every other member is a writer-side operation and
+/// must be called under the owning shard's mutex (single writer at a time);
+/// ShardedCache annotates its call sites with CCC_REQUIRES accordingly.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/flat_map.hpp"  // util::splitmix64
+
+namespace ccc {
+
+/// Production atomics policy: plain std::atomic plus the standalone fences.
+struct StdAtomics {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+  static void fence_acquire() noexcept {
+    // Strength chosen by the caller; this is just the raw fence.
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+  static void fence_release() noexcept {
+    // Strength chosen by the caller; this is just the raw fence.
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+};
+
+/// Protocol mutation switches for the model checker's seeded-bug suite.
+/// All-true is the shipped protocol; each false removes one ingredient.
+struct SeqlockConfig {
+  // Reader side ------------------------------------------------------
+  /// Bail out when the first seq load is odd (structural write open).
+  bool check_odd_seq = true;
+  /// Acquire fence between the probe loads and the seq revalidation.
+  bool acquire_fence = true;
+  /// Reload seq after the fence and require it unchanged.
+  bool revalidate_seq = true;
+  /// Probe keys with acquire loads (orders the stamp load after the
+  /// writer's stamp store on the publish path).
+  bool acquire_key_loads = true;
+  // Writer side ------------------------------------------------------
+  /// Wrap eviction erase / rebuild in an odd seq window + release fence.
+  bool seq_window = true;
+  /// Advance the epoch after an eviction/rebuild (stales every stamp).
+  bool bump_epoch = true;
+  /// On the free-space publish path, store the stamp before the key and
+  /// release the key store.
+  bool stamp_before_key = true;
+};
+
+inline constexpr SeqlockConfig kShippedSeqlock{};
+
+/// The residency mirror + seqlock words for one shard.
+///
+/// `Policy` supplies the atomic type and fences (StdAtomics in
+/// production, interleave::CheckedAtomics under the model checker).
+/// `Config` selects protocol mutations (checker only).
+template <typename Policy, SeqlockConfig Config = kShippedSeqlock>
+class SeqlockResidencyTable {
+ public:
+  using AtomicU64 = typename Policy::template Atomic<std::uint64_t>;
+
+  /// Empty marker for the key slots (never a valid PageId).
+  static constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+  SeqlockResidencyTable() = default;
+  SeqlockResidencyTable(const SeqlockResidencyTable&) = delete;
+  SeqlockResidencyTable& operator=(const SeqlockResidencyTable&) = delete;
+
+  /// Allocates `table_size` (power of two) slots, all empty. Called once
+  /// before any concurrent reader exists; reallocation is forbidden (it
+  /// would pull the arrays out from under lock-free probes).
+  void allocate(std::size_t table_size) {
+    CCC_REQUIRE(table_size >= 2 && (table_size & (table_size - 1)) == 0,
+                "seqlock table size must be a power of two");
+    CCC_CHECK(key_ == nullptr, "seqlock table may only be allocated once");
+    mask_ = table_size - 1;
+    key_ = std::make_unique<AtomicU64[]>(table_size);
+    stamp_ = std::make_unique<AtomicU64[]>(table_size);
+    for (std::size_t i = 0; i < table_size; ++i) {
+      // Pre-publication init: no reader exists yet, so plain relaxed
+      // stores suffice to establish the empty table.
+      key_[i].store(kEmptySlot, std::memory_order_relaxed);
+      stamp_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] bool allocated() const noexcept { return key_ != nullptr; }
+  [[nodiscard]] std::size_t mask() const noexcept { return mask_; }
+
+  // ---------------------------------------------------------------- //
+  // Reader side (lock-free; any thread)                               //
+  // ---------------------------------------------------------------- //
+
+  /// Returns true iff `page` was observed resident with a current stamp
+  /// under a validated seqlock read — i.e. the locked hit path would have
+  /// been a pure no-op and the hit may be served without the mutex. Any
+  /// torn, in-progress or ambiguous observation returns false (the caller
+  /// falls back to the mutex, which is always correct).
+  [[nodiscard]] bool try_fresh_hit(std::uint64_t page) const {
+    // Boehm seqlock reader: acquire the seq word so the probe loads below
+    // cannot be satisfied before it; odd means a structural write is in
+    // flight.
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if constexpr (Config.check_odd_seq) {
+      if ((s1 & 1) != 0) return false;
+    }
+    // Relaxed is enough for the epoch: the final seq revalidation decides
+    // whether this snapshot was stable; a stale epoch can only make the
+    // freshness test fail conservatively or be caught by that check.
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    std::size_t slot = home(page);
+    bool fresh = false;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      // Acquire on the key orders the stamp load after the writer's
+      // stamp store, which precedes its key release-store on the
+      // publish path (writer stores stamp, then key/release).
+      const std::uint64_t key =
+          key_[slot].load(Config.acquire_key_loads
+                              ? std::memory_order_acquire   // see above
+                              : std::memory_order_relaxed); // checker-verified
+                                                            // benign mutation
+      if (key == kEmptySlot) break;  // not resident (as of this snapshot)
+      if (key == page) {
+        // Fresh ⇔ no eviction/rebuild since this page's last budget
+        // refresh ⇔ re-freezing the budget now would store the identical
+        // value ⇔ the locked hit path would be a no-op. Relaxed is safe:
+        // the acquire on `key` already ordered this load (see above).
+        fresh = stamp_[slot].load(std::memory_order_relaxed) == epoch;
+        break;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    if constexpr (Config.acquire_fence) {
+      // Pairs with the writer's release fence at the top of each odd
+      // window: if any probe above read a store made inside a window,
+      // this fence makes that window's odd seq store visible to the
+      // revalidation load below, forcing the fallback.
+      Policy::fence_acquire();
+    }
+    if constexpr (Config.revalidate_seq) {
+      // Relaxed suffices after the fence; any writer activity during the
+      // probe moved seq and fails the comparison.
+      if (seq_.load(std::memory_order_relaxed) != s1) return false;
+    }
+    return fresh;
+  }
+
+  // ---------------------------------------------------------------- //
+  // Writer side (shard mutex held; single writer)                     //
+  // ---------------------------------------------------------------- //
+
+  /// Mirror of a locked hit: refresh the page's stamp to the current
+  /// epoch. Returns true iff the stamp was already current — i.e. the
+  /// optimistic path would have served this hit (the caller's resume
+  /// signal). A lone relaxed store: a racing reader sees either the old
+  /// stamp (conservative fallback) or the new one (correct), never an
+  /// inconsistency.
+  bool restamp_hit(std::uint64_t page) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    std::size_t slot = home(page);
+    // Writer-private probe: relaxed loads, we are the only writer.
+    while (key_[slot].load(std::memory_order_relaxed) != page) {
+      CCC_CHECK(key_[slot].load(std::memory_order_relaxed) != kEmptySlot,
+                "seqlock table lost a resident page");
+      slot = (slot + 1) & mask_;
+    }
+    // Relaxed pair: writer-private read; racing readers see old or new
+    // stamp, both self-consistent (doc comment above).
+    const bool was_fresh =
+        stamp_[slot].load(std::memory_order_relaxed) == epoch;
+    stamp_[slot].store(epoch, std::memory_order_relaxed);
+    return was_fresh;
+  }
+
+  /// Mirror of a miss into free space: publish stamp *then* key with a
+  /// release store, so a reader that acquires the new key also observes
+  /// its stamp. No seq window — a racing reader can only miss the new
+  /// entry (conservative), never observe an inconsistent state.
+  void publish_insert(std::uint64_t page) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    std::size_t slot = home(page);
+    // Writer-private probe: relaxed, we are the only mutator.
+    while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
+      slot = (slot + 1) & mask_;
+    if constexpr (Config.stamp_before_key) {
+      // Relaxed: the key release-store below carries it.
+      stamp_[slot].store(epoch, std::memory_order_relaxed);
+      // Release: the publish point — carries the stamp store above.
+      key_[slot].store(page, std::memory_order_release);
+    } else {
+      // Mutation: key first, stamp later (checker-verified benign —
+      // see tests/test_seqlock_model.cpp).
+      key_[slot].store(page, std::memory_order_release);
+      stamp_[slot].store(epoch, std::memory_order_relaxed);
+    }
+  }
+
+  /// Mirror of a miss with eviction: backward-shift erase of the victim,
+  /// epoch bump, insert of the fetched page — all inside an odd seq
+  /// window, because the shift moves *unrelated* entries between slots
+  /// mid-probe and the epoch bump re-defines freshness for every page.
+  void evict_and_insert(std::uint64_t victim, std::uint64_t page) {
+    open_window();
+    erase_locked(victim);
+    // The eviction debited every survivor (and bumped the victim's
+    // tenant), so no resident page's frozen budget re-freezes to the same
+    // value any more: advance the epoch, staling every stamp at once.
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if constexpr (Config.bump_epoch) {
+      // Relaxed: the window close below releases this store.
+      epoch_.store(epoch + 1, std::memory_order_relaxed);
+    }
+    // Insert the newly fetched page, stamped fresh for the new epoch.
+    // Relaxed stores: the odd window screens them from readers.
+    std::size_t slot = home(page);
+    // Relaxed throughout: the odd window screens these from readers.
+    while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
+      slot = (slot + 1) & mask_;
+    stamp_[slot].store(Config.bump_epoch ? epoch + 1 : epoch,
+                       std::memory_order_relaxed);  // window-screened
+    key_[slot].store(page, std::memory_order_relaxed);  // window-screened
+    close_window();
+  }
+
+  /// Opens an odd seq window for a structural rebuild driven by the
+  /// caller (rebalance: resize + rebuild must share one window).
+  void open_window() {
+    if constexpr (Config.seq_window) {
+      const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+      // Relaxed store + release fence (not a release store): the fence
+      // orders the odd seq before *every* subsequent window store, so a
+      // reader that observed any of them learns the window was open.
+      seq_.store(s + 1, std::memory_order_relaxed);
+      Policy::fence_release();
+    }
+  }
+
+  /// Closes the window opened by open_window().
+  void close_window() {
+    if constexpr (Config.seq_window) {
+      const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+      // Release: publishes all window stores to readers that see s+1.
+      seq_.store(s + 1, std::memory_order_release);
+    }
+  }
+
+  /// Rebuilds the table from scratch with uniformly *stale* stamps, then
+  /// advances the epoch. Must run inside a caller-opened window (a
+  /// rebalance resize may have debited survivors, so nothing may appear
+  /// fresh afterwards). `pages` is any range whose elements expose the
+  /// page id as `.first` (FlatMap entries, std::pair, ...).
+  template <typename Range>
+  void rebuild(const Range& pages) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    // Relaxed throughout: the open window screens readers.
+    for (std::size_t i = 0; i <= mask_; ++i)
+      key_[i].store(kEmptySlot, std::memory_order_relaxed);
+    for (const auto& entry : pages) {
+      const std::uint64_t page = entry.first;
+      std::size_t slot = home(page);
+      // Relaxed: still inside the caller's window (see loop comment).
+      while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
+        slot = (slot + 1) & mask_;
+      stamp_[slot].store(epoch, std::memory_order_relaxed);  // window
+      key_[slot].store(page, std::memory_order_relaxed);     // window
+    }
+    if constexpr (Config.bump_epoch) {
+      // Relaxed: released by the caller's close_window().
+      epoch_.store(epoch + 1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t home(std::uint64_t page) const {
+    return static_cast<std::size_t>(util::splitmix64(page)) & mask_;
+  }
+
+  /// Tombstone-free backward-shift erase (inside the caller's window).
+  void erase_locked(std::uint64_t victim) {
+    std::size_t hole = home(victim);
+    // Relaxed: writer-private probe under the open window.
+    while (key_[hole].load(std::memory_order_relaxed) != victim) {
+      CCC_CHECK(key_[hole].load(std::memory_order_relaxed) != kEmptySlot,
+                "seqlock table lost the victim page");
+      hole = (hole + 1) & mask_;
+    }
+    std::size_t probe = hole;
+    while (true) {
+      probe = (probe + 1) & mask_;
+      // Relaxed: writer-private probe under the open window.
+      const std::uint64_t key =
+          key_[probe].load(std::memory_order_relaxed);
+      if (key == kEmptySlot) break;
+      const std::size_t h = home(key);
+      // Cyclic distance test — identical to util::FlatMap::erase_at.
+      if (((probe - h) & mask_) >= ((probe - hole) & mask_)) {
+        key_[hole].store(key, std::memory_order_relaxed);
+        // Relaxed move of the (key, stamp) pair: window-screened.
+        stamp_[hole].store(stamp_[probe].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+        hole = probe;
+      }
+    }
+    key_[hole].store(kEmptySlot, std::memory_order_relaxed);  // window
+  }
+
+  /// Sequence word: odd ⇔ structural write in flight. Cache-line-aligned
+  /// away from the mutex/bookkeeping the shard keeps next to this table.
+  alignas(64) AtomicU64 seq_{};
+  /// Evictions + rebuilds so far; a page's budget refresh is a no-op iff
+  /// its slot's stamp still equals this epoch.
+  AtomicU64 epoch_{};
+  std::unique_ptr<AtomicU64[]> key_;
+  std::unique_ptr<AtomicU64[]> stamp_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ccc

@@ -18,9 +18,6 @@ double seconds_since(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
-/// Empty marker for the seqlock residency tables (never a valid PageId).
-constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
-
 /// How far ahead access_batch probes the residency hash while draining a
 /// shard group: far enough to cover the memory latency of one probe, near
 /// enough that the prefetched line is still resident when reached.
@@ -124,26 +121,24 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
       // One table sized for the *total* capacity: rebalancing may hand
       // this shard (almost) everything, and reallocation would pull the
       // arrays out from under concurrent lock-free readers.
-      const std::size_t table_size = pow2_at_least(2 * options_.capacity + 2);
-      shard->table_mask = table_size - 1;
-      shard->table_key =
-          std::make_unique<std::atomic<std::uint64_t>[]>(table_size);
-      shard->table_stamp =
-          std::make_unique<std::atomic<std::uint64_t>[]>(table_size);
-      for (std::size_t i = 0; i < table_size; ++i) {
-        shard->table_key[i].store(kEmptySlot, std::memory_order_relaxed);
-        shard->table_stamp[i].store(0, std::memory_order_relaxed);
-      }
+      shard->table.allocate(pow2_at_least(2 * options_.capacity + 2));
       shard->lockfree_hits = std::make_unique<std::atomic<std::uint64_t>[]>(
           options_.num_tenants);
       for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        // Pre-publication init: no concurrent reader exists yet.
         shard->lockfree_hits[t].store(0, std::memory_order_relaxed);
     }
     SimOptions sim_options;
     sim_options.seed = options_.seed + s;
     sim_options.step_observer = options_.step_observer;
-    shard->session = std::make_unique<SimulatorSession>(
-        split[s], options_.num_tenants, *shard->policy, costs_, sim_options);
+    {
+      // No other thread can reach this shard yet; the lock exists purely
+      // so the thread-safety analysis accepts dereferencing the guarded
+      // policy pointee while wiring it into the session.
+      const util::MutexLock lock(shard->mutex);
+      shard->session = std::make_unique<SimulatorSession>(
+          split[s], options_.num_tenants, *shard->policy, costs_, sim_options);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -164,39 +159,16 @@ std::size_t ShardedCache::shard_of(PageId page) const noexcept {
 
 bool ShardedCache::try_seqlock_hit(Shard& shard, const Request& request,
                                    StepEvent& event) const {
-  // Reader side of the Boehm seqlock recipe. Every shared slot is a
-  // std::atomic accessed with relaxed/acquire loads (no data races for
-  // TSan to flag); the acquire fence + seq revalidation guarantee that a
-  // *successful* return observed a table no writer touched in between.
-  // Any torn, in-progress or ambiguous observation falls back to the
-  // mutex — the fallback is always correct, just slower.
+  // Reader side of the Boehm seqlock recipe — the protocol itself lives
+  // in SeqlockResidencyTable::try_fresh_hit (seqlock_table.hpp), which is
+  // also the exact code the interleaving model checker explores. Any
+  // torn, in-progress or ambiguous observation falls back to the mutex —
+  // the fallback is always correct, just slower.
   if (request.tenant >= options_.num_tenants) return false;  // locked throw
-  const std::uint64_t s1 = shard.seq.load(std::memory_order_acquire);
-  if ((s1 & 1) != 0) return false;  // a structural write is in flight
-  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
-  std::size_t slot =
-      static_cast<std::size_t>(util::splitmix64(request.page)) &
-      shard.table_mask;
-  bool fresh = false;
-  for (std::size_t probes = 0; probes <= shard.table_mask; ++probes) {
-    const std::uint64_t key =
-        shard.table_key[slot].load(std::memory_order_acquire);
-    if (key == kEmptySlot) break;  // not resident (as of this snapshot)
-    if (key == request.page) {
-      // Fresh ⇔ no eviction/rebuild since this page's last budget
-      // refresh ⇔ re-freezing the budget now would store the identical
-      // value ⇔ the locked hit path would be a pure no-op. (The acquire
-      // on `key` orders this relaxed load after the writer's stamp
-      // store, which precedes its key release-store on the publish path.)
-      fresh = shard.table_stamp[slot].load(std::memory_order_relaxed) ==
-              epoch;
-      break;
-    }
-    slot = (slot + 1) & shard.table_mask;
-  }
-  std::atomic_thread_fence(std::memory_order_acquire);
-  if (shard.seq.load(std::memory_order_relaxed) != s1 || !fresh)
-    return false;
+  if (!shard.table.try_fresh_hit(request.page)) return false;
+  // Relaxed tally: each slot is written by exactly this kind of
+  // increment; aggregation folds it in under the shard mutex, and the
+  // count is not part of the protocol's correctness argument.
   shard.lockfree_hits[request.tenant].fetch_add(1,
                                                 std::memory_order_relaxed);
   event = StepEvent{};
@@ -207,112 +179,21 @@ bool ShardedCache::try_seqlock_hit(Shard& shard, const Request& request,
 
 bool ShardedCache::apply_event_seqlock(Shard& shard, const StepEvent& event) {
   // Writer side (mutex held, so we are the only writer). Three cases:
-  //  hit      — refresh the page's stamp. A lone relaxed store: a racing
-  //             reader sees either the old stamp (conservative fallback)
-  //             or the new one (correct), never an inconsistency.
-  //  insert   — publish stamp *then* key with a release store; a reader
-  //             that acquires the new key therefore sees its stamp.
+  //  hit      — refresh the page's stamp (plain relaxed store; a racing
+  //             reader sees old or new stamp, never an inconsistency).
+  //  insert   — publish stamp *then* key with a release store.
   //  eviction — the only structural mutation (backward-shift erase moves
   //             unrelated entries): wrapped in an odd `seq` window so
   //             every concurrent reader retries via the locked path.
-  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
-  const auto home = [&shard](PageId page) {
-    return static_cast<std::size_t>(util::splitmix64(page)) &
-           shard.table_mask;
-  };
-  if (event.hit) {
-    std::size_t slot = home(event.request.page);
-    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
-           event.request.page) {
-      CCC_CHECK(shard.table_key[slot].load(std::memory_order_relaxed) !=
-                    kEmptySlot,
-                "seqlock table lost a resident page");
-      slot = (slot + 1) & shard.table_mask;
-    }
-    const bool was_fresh =
-        shard.table_stamp[slot].load(std::memory_order_relaxed) == epoch;
-    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
-    return was_fresh;
-  }
+  // Memory-order details and the full argument: seqlock_table.hpp and
+  // DESIGN.md §10.
+  if (event.hit) return shard.table.restamp_hit(event.request.page);
   if (!event.victim.has_value()) {
-    // Miss into free space: plain publish into an empty slot.
-    std::size_t slot = home(event.request.page);
-    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
-           kEmptySlot)
-      slot = (slot + 1) & shard.table_mask;
-    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
-    shard.table_key[slot].store(event.request.page,
-                                std::memory_order_release);
+    shard.table.publish_insert(event.request.page);
     return false;
   }
-  // Miss with eviction: odd window around erase + epoch bump + insert.
-  const std::uint64_t s = shard.seq.load(std::memory_order_relaxed);
-  shard.seq.store(s + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-
-  // Tombstone-free backward-shift erase of the victim (relaxed stores —
-  // the odd window screens them from readers).
-  std::size_t hole = home(*event.victim);
-  while (shard.table_key[hole].load(std::memory_order_relaxed) !=
-         *event.victim) {
-    CCC_CHECK(shard.table_key[hole].load(std::memory_order_relaxed) !=
-                  kEmptySlot,
-              "seqlock table lost the victim page");
-    hole = (hole + 1) & shard.table_mask;
-  }
-  std::size_t probe = hole;
-  while (true) {
-    probe = (probe + 1) & shard.table_mask;
-    const std::uint64_t key =
-        shard.table_key[probe].load(std::memory_order_relaxed);
-    if (key == kEmptySlot) break;
-    const std::size_t h = home(key);
-    if (((probe - h) & shard.table_mask) >=
-        ((probe - hole) & shard.table_mask)) {
-      shard.table_key[hole].store(key, std::memory_order_relaxed);
-      shard.table_stamp[hole].store(
-          shard.table_stamp[probe].load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
-      hole = probe;
-    }
-  }
-  shard.table_key[hole].store(kEmptySlot, std::memory_order_relaxed);
-
-  // The eviction debited every survivor (and bumped the victim's tenant),
-  // so no resident page's frozen budget re-freezes to the same value any
-  // more: advance the epoch, staling every stamp at once.
-  shard.epoch.store(epoch + 1, std::memory_order_relaxed);
-
-  // Insert the newly fetched page, stamped fresh for the new epoch.
-  std::size_t slot = home(event.request.page);
-  while (shard.table_key[slot].load(std::memory_order_relaxed) != kEmptySlot)
-    slot = (slot + 1) & shard.table_mask;
-  shard.table_stamp[slot].store(epoch + 1, std::memory_order_relaxed);
-  shard.table_key[slot].store(event.request.page,
-                              std::memory_order_relaxed);
-
-  shard.seq.store(s + 2, std::memory_order_release);
+  shard.table.evict_and_insert(*event.victim, event.request.page);
   return false;
-}
-
-void ShardedCache::rebuild_table_seqlock(Shard& shard) {
-  // Caller holds the mutex and an odd seq window. Rebuild from the cache
-  // state with uniformly stale stamps (a rebalance resize may have
-  // debited survivors), then advance the epoch.
-  const std::uint64_t epoch = shard.epoch.load(std::memory_order_relaxed);
-  for (std::size_t i = 0; i <= shard.table_mask; ++i)
-    shard.table_key[i].store(kEmptySlot, std::memory_order_relaxed);
-  for (const auto& [page, owner] : shard.session->cache().pages()) {
-    (void)owner;
-    std::size_t slot = static_cast<std::size_t>(util::splitmix64(page)) &
-                       shard.table_mask;
-    while (shard.table_key[slot].load(std::memory_order_relaxed) !=
-           kEmptySlot)
-      slot = (slot + 1) & shard.table_mask;
-    shard.table_stamp[slot].store(epoch, std::memory_order_relaxed);
-    shard.table_key[slot].store(page, std::memory_order_relaxed);
-  }
-  shard.epoch.store(epoch + 1, std::memory_order_relaxed);
 }
 
 StepEvent ShardedCache::access(const Request& request) {
@@ -320,14 +201,14 @@ StepEvent ShardedCache::access(const Request& request) {
   if (options_.hit_path == HitPath::kSeqlock) {
     StepEvent event;
     if (try_seqlock_hit(shard, request, event)) return event;
-    const std::lock_guard lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     const auto start = SteadyClock::now();
     event = shard.session->step(request);
     apply_event_seqlock(shard, event);
     shard.wall_seconds += seconds_since(start);
     return event;
   }
-  const std::lock_guard lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   const auto start = SteadyClock::now();
   StepEvent event = shard.session->step(request);
   shard.wall_seconds += seconds_since(start);
@@ -359,7 +240,7 @@ void ShardedCache::process_group(Shard& shard, std::span<const Request> batch,
         if (events != nullptr) (*events)[base + idx(j)] = event;
       }
       if (j == n) return;
-      const std::lock_guard lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       const auto start = SteadyClock::now();
       const CacheState& cache = shard.session->cache();
       std::size_t fresh_streak = 0;
@@ -376,7 +257,7 @@ void ShardedCache::process_group(Shard& shard, std::span<const Request> batch,
     }
     return;
   }
-  const std::lock_guard lock(shard.mutex);
+  const util::MutexLock lock(shard.mutex);
   const auto start = SteadyClock::now();
   const CacheState& cache = shard.session->cache();
   for (; j < n; ++j) {
@@ -429,12 +310,14 @@ void ShardedCache::access_batch(std::span<const Request> batch,
 Metrics ShardedCache::aggregated_metrics() const {
   Metrics total(options_.num_tenants);
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     total.merge(shard->session->metrics());
     // Hits served lock-free bypassed the session's books; fold them in so
     // the aggregate equals a locked run's totals per tenant.
     if (shard->lockfree_hits != nullptr)
       for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        // Relaxed: a monotone tally; aggregation runs quiesced (or
+        // tolerates a slightly stale count by contract).
         total.record_hits(
             t, shard->lockfree_hits[t].load(std::memory_order_relaxed));
   }
@@ -444,7 +327,7 @@ Metrics ShardedCache::aggregated_metrics() const {
 PerfCounters ShardedCache::aggregated_perf() const {
   PerfCounters total;
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     PerfCounters perf = shard->session->perf_counters();
     // The session leaves wall_seconds to its driver; this frontend *is*
     // the driver and accumulated the in-lock processing time per shard.
@@ -456,6 +339,7 @@ PerfCounters ShardedCache::aggregated_perf() const {
     if (shard->lockfree_hits != nullptr) {
       std::uint64_t lockfree = 0;
       for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        // Relaxed: monotone tally, stale-tolerant aggregation.
         lockfree +=
             shard->lockfree_hits[t].load(std::memory_order_relaxed);
       perf.requests += lockfree;  // the session only counted locked steps
@@ -471,7 +355,7 @@ double ShardedCache::global_miss_cost() const {
               "global_miss_cost needs per-tenant cost functions");
   std::vector<std::uint64_t> misses(options_.num_tenants, 0);
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     const Metrics& m = shard->session->metrics();
     for (TenantId t = 0; t < options_.num_tenants; ++t)
       misses[t] += m.misses(t);
@@ -483,7 +367,7 @@ std::vector<ShardStats> ShardedCache::shard_stats() const {
   std::vector<ShardStats> stats;
   stats.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     const Metrics& m = shard->session->metrics();
     ShardStats s;
     s.capacity = shard->session->cache().capacity();
@@ -493,6 +377,7 @@ std::vector<ShardStats> ShardedCache::shard_stats() const {
     s.evictions = m.total_evictions();
     if (shard->lockfree_hits != nullptr)
       for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
+        // Relaxed: monotone tally, stale-tolerant aggregation.
         s.hits += shard->lockfree_hits[t].load(std::memory_order_relaxed);
     stats.push_back(s);
   }
@@ -503,7 +388,7 @@ std::vector<std::size_t> ShardedCache::capacities() const {
   std::vector<std::size_t> caps;
   caps.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
+    const util::MutexLock lock(shard->mutex);
     caps.push_back(shard->session->cache().capacity());
   }
   return caps;
@@ -542,18 +427,16 @@ void ShardedCache::rebalance() {
 #endif
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    const std::lock_guard lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     if (options_.hit_path == HitPath::kSeqlock) {
       // Resizing may evict (drain a shrinking shard) and in any case
-      // re-bases what "fresh" means, so rebuild the residency table under
-      // an odd window and stale every stamp via the epoch bump inside
-      // rebuild_table_seqlock. Readers retry through the mutex meanwhile.
-      const std::uint64_t sq = shard.seq.load(std::memory_order_relaxed);
-      shard.seq.store(sq + 1, std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_release);
+      // re-bases what "fresh" means, so the resize and the table rebuild
+      // (with its all-stale stamps + epoch bump) share one odd seq
+      // window. Readers retry through the mutex meanwhile.
+      shard.table.open_window();
       shard.session->resize(split[s]);
-      rebuild_table_seqlock(shard);
-      shard.seq.store(sq + 2, std::memory_order_release);
+      shard.table.rebuild(shard.session->cache().pages());
+      shard.table.close_window();
     } else {
       shard.session->resize(split[s]);
     }
@@ -566,7 +449,12 @@ void ShardedCache::rebalance() {
 #endif
 }
 
-const SimulatorSession& ShardedCache::shard_session(std::size_t shard) const {
+// Analysis opt-out: hands out an unlocked reference to guarded state.
+// Documented escape hatch for tests/diagnostics only — the header warns
+// callers not to race a concurrent replay, and every in-tree use inspects
+// a quiescent cache.
+const SimulatorSession& ShardedCache::shard_session(std::size_t shard) const
+    CCC_NO_THREAD_SAFETY_ANALYSIS {
   CCC_REQUIRE(shard < shards_.size(), "shard index out of range");
   return *shards_[shard]->session;
 }

@@ -45,11 +45,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "shard/seqlock_table.hpp"
 #include "sim/simulator.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ccc {
 
@@ -207,48 +209,42 @@ class ShardedCache {
 
  private:
   struct Shard {
-    std::unique_ptr<ReplacementPolicy> policy;
-    std::unique_ptr<SimulatorSession> session;
-    /// Time spent processing this shard's requests (guarded by `mutex`;
-    /// timed per access() call / per batch group, so batched ingestion
-    /// amortizes the clock reads). Summed by aggregated_perf().
-    double wall_seconds = 0.0;
-    mutable std::mutex mutex;
+    /// Policy and session state is mutated only under `mutex` — the
+    /// pt_guarded_by annotations make the analysis reject any unlocked
+    /// dereference (the pointers themselves are set once at construction
+    /// and never reseated).
+    std::unique_ptr<ReplacementPolicy> policy CCC_PT_GUARDED_BY(mutex);
+    std::unique_ptr<SimulatorSession> session CCC_PT_GUARDED_BY(mutex);
+    /// Time spent processing this shard's requests (timed per access()
+    /// call / per batch group, so batched ingestion amortizes the clock
+    /// reads). Summed by aggregated_perf().
+    double wall_seconds CCC_GUARDED_BY(mutex) = 0.0;
+    mutable util::Mutex mutex;
 
     // ---- seqlock hit path (allocated only under HitPath::kSeqlock) ----
-    // Writer protocol (mutex holders only): structural changes — eviction
-    // erase, epoch bump, table rebuild — happen inside an odd `seq`
-    // window; pure publishes (insert into an empty slot, stamp refresh)
-    // need none because a racing reader can only miss them, never observe
-    // an inconsistent state. Reader protocol in try_seqlock_hit().
-    alignas(64) std::atomic<std::uint64_t> seq{0};
-    /// Evictions + rebuilds so far; a page's budget refresh is a no-op iff
-    /// its slot's stamp still equals this epoch.
-    std::atomic<std::uint64_t> epoch{0};
-    /// Open-addressing residency table: page id (or kEmptySlot) and the
-    /// epoch stamped at the page's last budget refresh. Sized once at
-    /// ≥ 2x the *total* capacity so rebalancing never reallocates under
-    /// a concurrent reader.
-    std::unique_ptr<std::atomic<std::uint64_t>[]> table_key;
-    std::unique_ptr<std::atomic<std::uint64_t>[]> table_stamp;
-    std::size_t table_mask = 0;
+    /// Lock-free residency mirror (protocol lives in seqlock_table.hpp):
+    /// readers probe it with no lock; all writer-side members are called
+    /// only while holding `mutex` (single writer). Sized once at ≥ 2x the
+    /// *total* capacity so rebalancing never reallocates under a
+    /// concurrent reader.
+    SeqlockResidencyTable<StdAtomics> table;
     /// Per-tenant hits served lock-free (folded into metrics/perf on
     /// aggregation; never written by the locked path).
     std::unique_ptr<std::atomic<std::uint64_t>[]> lockfree_hits;
   };
 
   /// Lock-free fast path: returns true iff `request` was a fresh hit and
-  /// has been fully served (event filled in, hit tallied).
+  /// has been fully served (event filled in, hit tallied). Must NOT hold
+  /// the shard mutex (the whole point; also keeps the analysis honest
+  /// about which side of the protocol this is).
   bool try_seqlock_hit(Shard& shard, const Request& request,
-                       StepEvent& event) const;
-  /// Mirrors one locked step's outcome into the shard's residency table
-  /// (mutex must be held). Returns true iff the event was a hit whose
-  /// stamp was already current — i.e. the optimistic path would have
-  /// served it; process_group uses that as its resume signal.
-  bool apply_event_seqlock(Shard& shard, const StepEvent& event);
-  /// Rebuilds a shard's table from its cache state with all-stale stamps
-  /// (mutex must be held; used after rebalance resizing).
-  void rebuild_table_seqlock(Shard& shard);
+                       StepEvent& event) const CCC_EXCLUDES(shard.mutex);
+  /// Mirrors one locked step's outcome into the shard's residency table.
+  /// Returns true iff the event was a hit whose stamp was already current
+  /// — i.e. the optimistic path would have served it; process_group uses
+  /// that as its resume signal.
+  bool apply_event_seqlock(Shard& shard, const StepEvent& event)
+      CCC_REQUIRES(shard.mutex);
   /// Processes one shard's slice of a batch in submission order. Under
   /// kSeqlock the slice is served as alternating runs: a lock-free run of
   /// fresh hits, then — at the first request needing the mutex — a locked

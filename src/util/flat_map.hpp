@@ -138,7 +138,7 @@ class FlatMap {
 
   /// Pre-size so `count` keys fit without rehashing.
   void reserve(std::size_t count) {
-    std::size_t cap = min_capacity_for(count);
+    const std::size_t cap = min_capacity_for(count);
     if (cap > keys_.size()) rehash(cap);
   }
 
@@ -176,7 +176,7 @@ class FlatMap {
 
   /// Returns true when the key was newly inserted (false: assigned over).
   bool insert_or_assign(key_type key, Value value) {
-    auto [slot_value, inserted] = insert_slot(key);
+    const auto [slot_value, inserted] = insert_slot(key);
     *slot_value = std::move(value);
     return inserted;
   }

@@ -1,0 +1,83 @@
+#pragma once
+/// \file mutex.hpp
+/// \brief Annotated drop-in wrappers over std::mutex /
+///        std::condition_variable for Clang thread-safety analysis.
+///
+/// libstdc++'s `std::mutex` carries no capability attributes, so
+/// `-Wthread-safety` cannot connect a `std::lock_guard` to the fields it
+/// protects. These wrappers restore that link: `Mutex` is a
+/// `CCC_CAPABILITY`, `MutexLock` is the scoped guard the analysis
+/// understands, and `CondVar` keeps condition-variable waits working
+/// against the wrapped mutex without exposing the raw `std::mutex` to
+/// call sites. The wrappers compile to exactly the std types they wrap —
+/// no extra state, everything inline — so the locked hot paths are
+/// unchanged.
+///
+/// A `CondVar::wait` releases and reacquires the mutex internally; the
+/// analysis does not model that hand-off, which is safe (it sees the lock
+/// as continuously held, and the wait re-establishes exactly that before
+/// returning).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace ccc::util {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute the analysis keys on.
+class CCC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CCC_ACQUIRE() { mutex_.lock(); }
+  void unlock() CCC_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() CCC_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// Scoped lock over `Mutex` (the annotated std::unique_lock). Supports
+/// condition-variable waits via `CondVar`.
+class CCC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CCC_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~MutexLock() CCC_RELEASE() = default;  // std::unique_lock unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable only with `MutexLock`, so waits cannot be
+/// paired with the wrong (or no) mutex.
+class CondVar {
+ public:
+  /// Waits for one notification (spurious wakeups possible — call from a
+  /// `while (!condition)` loop). Prefer this over a predicate overload:
+  /// the loop keeps the guarded condition reads inside the calling
+  /// function's scope, where the thread-safety analysis can see the lock
+  /// is held (it does not propagate lock state into lambdas).
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ccc::util

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   CCC_REQUIRE(task != nullptr, "cannot submit an empty task");
   {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     CCC_CHECK(!stopping_, "submit on a stopping pool");
     queue_.push(std::move(task));
     ++in_flight_;
@@ -35,8 +35,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(lock);
   if (first_error_) {
     const std::exception_ptr err = first_error_;
     first_error_ = nullptr;
@@ -52,7 +52,7 @@ void ThreadPool::parallel_for(std::size_t n,
       {
         // A captured task error makes the remaining iterations pointless;
         // stop feeding the queue and let wait_idle() report it.
-        const std::lock_guard lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (first_error_) break;
       }
       submit([&fn, i] { fn(i); });
@@ -68,17 +68,16 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::drain() noexcept {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_available_.wait(lock);
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop();
@@ -96,7 +95,7 @@ void ThreadPool::worker_loop() {
     }
     task = nullptr;  // task destructor runs before we report completion
     {
-      const std::lock_guard lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();

@@ -6,12 +6,14 @@
 /// order never depends on scheduling; combined with per-task RNG streams
 /// (`Rng::split`) every sweep is reproducible regardless of thread count.
 
-#include <condition_variable>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ccc {
 
@@ -30,33 +32,37 @@ class ThreadPool {
     return workers_.size();
   }
 
-  /// Enqueues a task.
-  void submit(std::function<void()> task);
+  /// Enqueues a task. Self-locking (CCC_EXCLUDES: calling with the pool
+  /// mutex held — only possible from inside a task that somehow got the
+  /// lock — would deadlock).
+  void submit(std::function<void()> task) CCC_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished; rethrows the first
   /// captured task exception, if any.
-  void wait_idle();
+  void wait_idle() CCC_EXCLUDES(mutex_);
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits. If some
   /// `fn(i)` throws, remaining iterations may be skipped and the first
   /// exception is rethrown here; the pool stays usable afterwards.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      CCC_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() CCC_EXCLUDES(mutex_);
 
   /// Blocks until in-flight tasks finish without rethrowing captured
   /// errors (exception-unwind path of parallel_for).
-  void drain() noexcept;
+  void drain() noexcept CCC_EXCLUDES(mutex_);
 
+  /// Joined by the destructor only; never mutated after construction.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::queue<std::function<void()>> queue_ CCC_GUARDED_BY(mutex_);
+  util::Mutex mutex_;
+  util::CondVar task_available_;
+  util::CondVar all_done_;
+  std::size_t in_flight_ CCC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CCC_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ CCC_GUARDED_BY(mutex_);
 };
 
 }  // namespace ccc

@@ -1,0 +1,47 @@
+// Negative-compile probe for the Clang thread-safety gate (driven by
+// cmake/thread_safety_check.cmake — not part of any test binary).
+//
+// Without CCC_NEGATIVE_UNLOCKED_ACCESS this translation unit is a model
+// citizen and must compile. With it, `unguarded_read` touches a
+// CCC_GUARDED_BY field without holding the mutex; if that compiles under
+// -Wthread-safety -Werror=thread-safety, the annotation machinery is
+// inert and the configure step aborts.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() CCC_EXCLUDES(mutex_) {
+    const ccc::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] long locked_read() const CCC_EXCLUDES(mutex_) {
+    const ccc::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+#ifdef CCC_NEGATIVE_UNLOCKED_ACCESS
+  // The probe: guarded field, no lock. Must NOT compile under the gate.
+  [[nodiscard]] long unguarded_read() const { return value_; }
+#endif
+
+ private:
+  mutable ccc::util::Mutex mutex_;
+  long value_ CCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  long total = counter.locked_read();
+#ifdef CCC_NEGATIVE_UNLOCKED_ACCESS
+  total += counter.unguarded_read();
+#endif
+  return total == 1 ? 0 : 1;
+}
