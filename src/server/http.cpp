@@ -1,0 +1,58 @@
+/// \file http.cpp
+/// \brief Minimal HTTP head parsing / response building (see http.hpp).
+
+#include "server/http.hpp"
+
+#include <sstream>
+
+namespace ccc::server {
+
+HttpParse parse_http_head(std::string_view in, HttpRequest& request,
+                          std::size_t& consumed) {
+  consumed = 0;
+  // The head ends at the first blank line; tolerate bare-LF clients.
+  std::size_t end = in.find("\r\n\r\n");
+  std::size_t terminator = 4;
+  if (end == std::string_view::npos) {
+    end = in.find("\n\n");
+    terminator = 2;
+  }
+  if (end == std::string_view::npos)
+    return in.size() > kMaxHeadBytes ? HttpParse::kBad : HttpParse::kNeedMore;
+  if (end + terminator > kMaxHeadBytes) return HttpParse::kBad;
+
+  std::string_view line = in.substr(0, in.find_first_of("\r\n"));
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParse::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return HttpParse::kBad;
+  if (line.substr(sp2 + 1).substr(0, 5) != "HTTP/") return HttpParse::kBad;
+
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  consumed = end + terminator;
+  return HttpParse::kOk;
+}
+
+std::string make_http_response(int status, std::string_view content_type,
+                               std::string_view body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200: reason = "OK"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 400: reason = "Bad Request"; break;
+    default: reason = ""; break;
+  }
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n"
+     << "\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace ccc::server

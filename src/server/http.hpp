@@ -1,0 +1,53 @@
+#pragma once
+/// \file http.hpp
+/// \brief Just enough HTTP/1.1 for a Prometheus scrape target: parse a
+///        request head, build a response. Pure string handling — no
+///        sockets — so the parser is unit-testable and fuzz-friendly.
+///
+/// The metrics endpoint speaks the smallest useful dialect: the request
+/// body is ignored (scrapes are GETs), every response carries
+/// `Connection: close` and an explicit Content-Length, and anything that
+/// is not `GET /metrics` earns a 404 (or 405 for non-GET methods). That
+/// is the entire contract Prometheus and curl need.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ccc::server {
+
+/// Parsed request line of an HTTP/1.x head.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+};
+
+/// Outcome of scanning a receive buffer for a complete request head.
+enum class HttpParse : std::uint8_t {
+  kNeedMore,  ///< no blank line yet — keep reading
+  kOk,        ///< head complete; `request` is filled
+  kBad,       ///< malformed request line, or head exceeds kMaxHeadBytes
+};
+
+/// A request head larger than this is rejected outright — a scrape request
+/// is a few dozen bytes, so multi-kilobyte heads are noise or abuse.
+inline constexpr std::size_t kMaxHeadBytes = 8 * 1024;
+
+/// Scans `in` for a complete head (terminated by CRLFCRLF or LFLF). On
+/// kOk, `consumed` is the head's byte length, so callers can drop it from
+/// their buffer; on other outcomes `consumed` is 0.
+[[nodiscard]] HttpParse parse_http_head(std::string_view in,
+                                        HttpRequest& request,
+                                        std::size_t& consumed);
+
+/// Serializes a complete response with status line, Content-Type,
+/// Content-Length and Connection: close headers.
+[[nodiscard]] std::string make_http_response(int status,
+                                             std::string_view content_type,
+                                             std::string_view body);
+
+/// Content type mandated by the Prometheus text exposition format 0.0.4.
+inline constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace ccc::server

@@ -1,0 +1,181 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire codec of the cache-server's length-prefixed pipelined binary
+///        protocol — a pure in-memory layer with no socket types, so unit
+///        tests and the fuzzer drive it byte-for-byte without a network.
+///
+/// Every frame, request or response, has the same envelope (little-endian):
+///
+///   u32 length     — bytes that FOLLOW this field (prefix + body)
+///   u32 magic      = kMagic ("CCP1")
+///   u8  version    = kVersion
+///   u8  code       — request: opcode (GET/SET/STATS); response: status
+///   u16 reserved   = 0
+///   ... body ...
+///
+/// Request body (12 bytes): u32 tenant, u64 page. STATS carries the same
+/// body with both fields zero, so every v1 request frame is exactly
+/// kRequestFrameBytes long and the decoder can reject any other length as
+/// malformed before buffering a single body byte.
+///
+/// Response body: u64 value (opcode-specific; 0 for GET/SET/errors),
+/// followed by an optional tail — STATS responses append the per-tenant
+/// books (see StatsPayload). Responses are returned strictly in request
+/// order per connection, which is what makes pipelining unambiguous
+/// without per-frame sequence numbers.
+///
+/// Framing errors (bad magic/version/reserved, undersized or oversized
+/// length) poison the stream: after garbage there is no way to re-find a
+/// frame boundary, so the decoder reports the error for every subsequent
+/// feed and the server answers with one kMalformed reply and closes that
+/// connection — other connections are unaffected. Well-framed but invalid
+/// requests (unknown opcode, tenant out of range, page/tenant mismatch)
+/// are NOT framing errors: they earn an in-order kBadRequest response and
+/// the connection lives on.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace ccc::server {
+
+inline constexpr std::uint32_t kMagic = 0x31504343;  // "CCP1" little-endian
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Bytes between the length field and the body: magic, version, code,
+/// reserved.
+inline constexpr std::size_t kFramePrefixBytes = 8;
+/// Request body: u32 tenant + u64 page.
+inline constexpr std::size_t kRequestBodyBytes = 12;
+/// A complete request frame on the wire, length field included.
+inline constexpr std::size_t kRequestFrameBytes =
+    4 + kFramePrefixBytes + kRequestBodyBytes;
+/// Response body prefix: u64 value (tail, if any, follows).
+inline constexpr std::size_t kResponseBodyBytes = 8;
+
+enum class Opcode : std::uint8_t {
+  kGet = 1,    ///< access the page; response status reports hit or miss
+  kSet = 2,    ///< ensure the page is resident; response status is kOk
+  kStats = 3,  ///< fetch the per-tenant books; response carries StatsPayload
+};
+
+enum class Status : std::uint8_t {
+  kHit = 0,
+  kMiss = 1,
+  kOk = 2,
+  /// Well-framed but unserviceable request (unknown opcode, tenant out of
+  /// range, page not owned by the claimed tenant). Connection survives.
+  kBadRequest = 3,
+  /// Framing violation; this is the last frame on the connection.
+  kMalformed = 4,
+};
+
+/// Why the decoder rejected the stream.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kBadLength,   ///< length field smaller than the frame prefix
+  kOversized,   ///< length field exceeds the decoder's max body size
+  kBadMagic,
+  kBadVersion,
+  kBadReserved,
+};
+
+/// A decoded frame. `body` points into the decoder's internal buffer and is
+/// valid only for the duration of the sink callback.
+struct FrameView {
+  std::uint8_t code = 0;
+  std::span<const std::uint8_t> body;
+};
+
+/// Incremental frame decoder for one byte stream. Feed it whatever the
+/// socket produced — single bytes, half frames, ten pipelined frames at
+/// once — and it emits each complete well-formed frame exactly once, in
+/// order. The first framing error poisons the decoder permanently (see the
+/// file comment for why resynchronization is impossible).
+class FrameDecoder {
+ public:
+  using Sink = std::function<void(const FrameView&)>;
+
+  /// `max_body_bytes` bounds the body size this peer is willing to buffer;
+  /// a length field promising more is rejected as kOversized *immediately*,
+  /// before any of the oversized body arrives.
+  explicit FrameDecoder(std::size_t max_body_bytes);
+
+  /// Appends `bytes` and invokes `sink` for every complete frame now
+  /// available. Returns kNone while the stream is healthy; after an error,
+  /// returns that error now and on every subsequent call without invoking
+  /// the sink again.
+  DecodeError feed(std::span<const std::uint8_t> bytes, const Sink& sink);
+  DecodeError feed(std::string_view bytes, const Sink& sink);
+
+  [[nodiscard]] DecodeError error() const noexcept { return error_; }
+  /// Bytes buffered awaiting a complete frame (0 right after a frame ends).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+  [[nodiscard]] std::size_t max_body_bytes() const noexcept {
+    return max_body_bytes_;
+  }
+
+ private:
+  std::size_t max_body_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already emitted
+  DecodeError error_ = DecodeError::kNone;
+};
+
+/// One parsed request frame. `opcode` is the raw byte — the caller decides
+/// how to answer unknown values (kBadRequest), so a new opcode added to one
+/// side degrades gracefully instead of killing connections.
+struct RequestMsg {
+  std::uint8_t opcode = 0;
+  TenantId tenant = 0;
+  PageId page = 0;
+};
+
+/// One parsed response frame (client side). `tail` aliases the FrameView
+/// body — copy it before the sink returns if it must outlive the frame.
+struct ResponseMsg {
+  std::uint8_t status = 0;
+  std::uint64_t value = 0;
+  std::span<const std::uint8_t> tail;
+};
+
+/// Per-tenant books carried by a STATS response, plus enough of the
+/// server's configuration for a client to sanity-check its own.
+struct StatsPayload {
+  std::uint32_t num_tenants = 0;
+  std::uint32_t num_shards = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t lockfree_hits = 0;  ///< hits served by the seqlock fast path
+  std::vector<std::uint64_t> hits;       ///< one entry per tenant
+  std::vector<std::uint64_t> misses;
+  std::vector<std::uint64_t> evictions;
+};
+
+// ---- encoding (append to a byte string acting as an output buffer) ----
+
+void append_request(std::string& out, Opcode opcode, TenantId tenant,
+                    PageId page);
+void append_response(std::string& out, Status status, std::uint64_t value = 0,
+                     std::span<const std::uint8_t> tail = {});
+/// Serializes the stats books into `out` (the tail of a kOk response).
+void append_stats_body(std::string& out, const StatsPayload& stats);
+
+// ---- parsing (body layout checks; framing is the decoder's job) ----
+
+/// nullopt iff the body is not exactly kRequestBodyBytes.
+[[nodiscard]] std::optional<RequestMsg> parse_request(const FrameView& frame);
+/// nullopt iff the body is shorter than kResponseBodyBytes.
+[[nodiscard]] std::optional<ResponseMsg> parse_response(const FrameView& frame);
+/// nullopt unless `tail` is a complete, self-consistent stats serialization.
+[[nodiscard]] std::optional<StatsPayload> parse_stats_body(
+    std::span<const std::uint8_t> tail);
+
+}  // namespace ccc::server

@@ -143,7 +143,7 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
   }
 }
 
-std::size_t ShardedCache::shard_of(PageId page) const noexcept {
+std::size_t shard_of_page(PageId page, std::size_t num_shards) noexcept {
   // Multiply-shift range reduction over the mixed id: the shard is decided
   // by the *high* bits of splitmix64(page), leaving the low bits — which
   // the flat residency tables use for slot selection — unconstrained
@@ -154,7 +154,11 @@ std::size_t ShardedCache::shard_of(PageId page) const noexcept {
   // tenant identity.
   const std::uint64_t hi = util::splitmix64(page) >> 32;
   return static_cast<std::size_t>(
-      (hi * static_cast<std::uint64_t>(shards_.size())) >> 32);
+      (hi * static_cast<std::uint64_t>(num_shards)) >> 32);
+}
+
+std::size_t ShardedCache::shard_of(PageId page) const noexcept {
+  return shard_of_page(page, shards_.size());
 }
 
 bool ShardedCache::try_seqlock_hit(Shard& shard, const Request& request,

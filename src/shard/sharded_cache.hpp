@@ -69,6 +69,14 @@ namespace ccc {
     std::size_t total, const std::vector<std::uint64_t>& misses,
     std::size_t min_per_shard);
 
+/// Pure shard router: the shard index a ShardedCache built with
+/// `num_shards` shards assigns `page` to. Exposed as a free function so
+/// external trace partitioners — the e11 loopback load generator assigns
+/// each shard's subsequence to one connection to keep networked replays
+/// deterministic (DESIGN.md §12) — can replicate the mapping exactly.
+[[nodiscard]] std::size_t shard_of_page(PageId page,
+                                        std::size_t num_shards) noexcept;
+
 /// How hits reach their shard.
 enum class HitPath {
   kLocked,   ///< every request takes the shard mutex (the safe default)
