@@ -42,7 +42,9 @@
 
 #include "cost/monomial.hpp"
 #include "cost/piecewise_linear.hpp"
+#include "obs/cost_tracker.hpp"
 #include "obs/histogram.hpp"
+#include "obs/registry.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "shard/sharded_cache.hpp"
@@ -105,6 +107,19 @@ struct VerifyResult {
   double cost_ratio = 0.0;    ///< server miss cost / reference miss cost
   double server_cost = 0.0;
   double reference_cost = 0.0;
+  /// Tenants where CostTracker::collect over the replayed reference cache
+  /// disagrees with its aggregated books or where the tracker's per-tenant
+  /// ALG cost f_i(a_i) is not bit-identical to f_i applied to those books.
+  std::uint64_t tracker_mismatches = 0;
+  double tracker_cost = 0.0;  ///< Σ_i f_i(a_i) as the tracker reports it
+};
+
+/// Per-stage server latency attribution, pulled from the in-process
+/// server's metrics registry after shutdown (external servers keep theirs
+/// behind their own /metrics port — scrape that instead).
+struct StageLatency {
+  std::string stage;
+  obs::HistogramSnapshot snapshot;
 };
 
 /// Books delta between two STATS snapshots (post − pre, per tenant).
@@ -126,7 +141,8 @@ void write_json(const std::string& path, const Cli& cli,
                 std::uint64_t requests_sent, double wall_seconds,
                 const obs::HistogramSnapshot& latency,
                 const WorkerResult& totals, std::uint64_t lockfree_hits,
-                const VerifyResult& verify) {
+                const VerifyResult& verify,
+                const std::vector<StageLatency>& stages) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"benchmark\": \"e11_server\",\n";
@@ -169,7 +185,28 @@ void write_json(const std::string& path, const Cli& cli,
   if (verify.ran)
     os << ", \"drift\": " << verify.drift
        << ", \"miss_cost\": " << verify.server_cost
-       << ", \"cost_ratio_vs_direct\": " << verify.cost_ratio;
+       << ", \"cost_ratio_vs_direct\": " << verify.cost_ratio
+       << ", \"tracker_mismatches\": " << verify.tracker_mismatches
+       << ", \"tracker_cost\": " << verify.tracker_cost;
+  // Per-stage request-latency attribution (in-process runs only): one
+  // object per ccc_server_stage_latency_ns stage, quantiles in µs so they
+  // read next to p50_us/p99_us above. Informational in the regression
+  // gate — stage mix shifts with batch shape, so these are reported, not
+  // thresholded (scripts/check_bench_regression.py).
+  if (!stages.empty()) {
+    os << ", \"stage_latency_us\": {";
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      const StageLatency& stage = stages[s];
+      os << (s == 0 ? "" : ", ") << "\"" << json_escape(stage.stage)
+         << "\": {\"count\": " << stage.snapshot.count << ", \"p50_us\": "
+         << static_cast<double>(stage.snapshot.quantile(0.5)) / 1e3
+         << ", \"p99_us\": "
+         << static_cast<double>(stage.snapshot.quantile(0.99)) / 1e3
+         << ", \"p999_us\": "
+         << static_cast<double>(stage.snapshot.quantile(0.999)) / 1e3 << "}";
+    }
+    os << "}";
+  }
   os << "}\n";
   os << "  ]\n}\n";
   std::ofstream out(path);
@@ -417,9 +454,29 @@ int run(int argc, const char* const* argv) {
     verify.cost_ratio = verify.reference_cost > 0.0
                             ? verify.server_cost / verify.reference_cost
                             : (verify.server_cost == 0.0 ? 1.0 : 0.0);
+
+    // The telemetry path must agree with the books it claims to describe:
+    // CostTracker::collect aggregates the same replayed cache through the
+    // per-shard snapshot path /metrics uses, so its per-tenant miss counts
+    // must equal the aggregated books and its per-tenant ALG cost must be
+    // bit-identical to f_i applied to those books — exact equality, not a
+    // tolerance, since both sides add the same integers and evaluate the
+    // same f_i once.
+    const obs::CostTracker tracker = obs::CostTracker::collect(reference);
+    const obs::CostSnapshot tracker_snap = tracker.snapshot(costs, capacity);
+    for (TenantId t = 0; t < tenants; ++t) {
+      const bool misses_match =
+          tracker.misses()[t] == ref_metrics.misses(t);
+      const bool cost_match =
+          tracker_snap.tenant_cost[t] ==
+          costs[t]->value(static_cast<double>(ref_metrics.misses(t)));
+      if (!misses_match || !cost_match) ++verify.tracker_mismatches;
+      verify.tracker_cost += tracker_snap.tenant_cost[t];
+    }
   }
 
   // ---- shut down an in-process server gracefully ----
+  std::vector<StageLatency> stages;
   if (inproc != nullptr) {
     for (auto& client : clients) client->close();
     inproc->request_stop();
@@ -427,6 +484,17 @@ int run(int argc, const char* const* argv) {
     if (server_rc != 0)
       throw std::runtime_error("in-process server exited with " +
                                std::to_string(server_rc));
+    // With the loop joined the registry snapshot is exact: pull the
+    // per-stage latency attribution for the JSON row.
+    obs::MetricsRegistry registry;
+    inproc->fill_metrics(registry);
+    if (const obs::MetricFamily* family =
+            registry.find("ccc_server_stage_latency_ns")) {
+      for (const obs::HistogramSample& sample : family->histograms)
+        for (const auto& [key, label] : sample.labels)
+          if (key == "stage")
+            stages.push_back(StageLatency{label, sample.snapshot});
+    }
   }
 
   // ---- report ----
@@ -456,18 +524,36 @@ int run(int argc, const char* const* argv) {
               << " cost_ratio=" << format_double(verify.cost_ratio, 6)
               << " (server " << format_compact(verify.server_cost)
               << " vs direct " << format_compact(verify.reference_cost)
-              << ")\n";
+              << ") tracker_mismatches=" << verify.tracker_mismatches
+              << " tracker_cost=" << format_compact(verify.tracker_cost)
+              << "\n";
+  if (!stages.empty()) {
+    Table stage_table({"stage", "count", "p50_us", "p99_us", "p999_us"});
+    for (const StageLatency& stage : stages)
+      stage_table.add(
+          stage.stage, stage.snapshot.count,
+          static_cast<double>(stage.snapshot.quantile(0.5)) / 1e3,
+          static_cast<double>(stage.snapshot.quantile(0.99)) / 1e3,
+          static_cast<double>(stage.snapshot.quantile(0.999)) / 1e3);
+    std::cout << stage_table.to_ascii() << "\n";
+  }
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty())
     write_json(json_path, cli, tenants, server_shards, connections, loops,
                requests_sent, wall_seconds, latency, totals,
-               delta.lockfree_hits, verify);
+               delta.lockfree_hits, verify, stages);
 
   if (verify.ran && verify.drift != 0) {
     std::cerr << "e11_server: DRIFT — server books diverge from the direct "
                  "replay by "
               << verify.drift << "\n";
+    return 1;
+  }
+  if (verify.ran && verify.tracker_mismatches != 0) {
+    std::cerr << "e11_server: TRACKER DRIFT — CostTracker disagrees with "
+                 "the replayed books for "
+              << verify.tracker_mismatches << " tenant(s)\n";
     return 1;
   }
   return 0;

@@ -24,6 +24,11 @@ through any cell with a corrupt baseline).
 When $GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step),
 the same comparison is appended there as a markdown table so the verdict
 is readable from the run's summary page without digging through logs.
+Rows that carry latency quantiles (BENCH_server: end-to-end p50/p99/p999
+plus per-stage attribution from in-process runs) get a second,
+informational table — p99 moves with runner noise far more than
+throughput does, so latency is reported next to the verdicts but never
+thresholded.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines/BENCH_throughput.baseline.json \
@@ -77,6 +82,42 @@ def check_obs_snapshot(path):
     if not samples or all(s.get("count", 0) <= 0 for s in samples):
         return "ccc_step_latency_ns histogram is empty (observer not attached?)"
     return None
+
+
+def latency_summary(baseline, current):
+    """Markdown section for per-cell latency quantiles — informational.
+
+    Never contributes to the gate verdict: stage mix shifts with batch
+    shape and p99 with runner load, so a threshold here would only flake.
+    """
+    keys = [k for k in sorted(current) if "p50_us" in current[k]]
+    if not keys:
+        return []
+    lines = [
+        "",
+        "### Request latency (informational, not gated)",
+        "",
+        "| cell | p50 µs | p99 µs | p999 µs | baseline p99 µs |",
+        "| --- | ---: | ---: | ---: | ---: |",
+    ]
+    for key in keys:
+        label = f"{key[0]}/{key[1]}/n={key[2]}"
+        row = current[key]
+        base = baseline.get(key, {})
+        base_p99 = base.get("p99_us")
+        base_cell = f"{base_p99:.1f}" if base_p99 is not None else "—"
+        lines.append(
+            f"| `{label}` | {row['p50_us']:.1f} | {row['p99_us']:.1f} "
+            f"| {row['p999_us']:.1f} | {base_cell} |")
+        base_stages = base.get("stage_latency_us", {})
+        for stage, q in sorted(row.get("stage_latency_us", {}).items()):
+            stage_p99 = base_stages.get(stage, {}).get("p99_us")
+            stage_cell = f"{stage_p99:.1f}" if stage_p99 is not None else "—"
+            lines.append(
+                f"| `{label}` · stage `{stage}` | {q['p50_us']:.1f} "
+                f"| {q['p99_us']:.1f} | {q['p999_us']:.1f} "
+                f"| {stage_cell} |")
+    return lines
 
 
 def write_step_summary(lines):
@@ -138,6 +179,7 @@ def main():
               file=sys.stderr)
         return 2
 
+    current_all = dict(current)  # the gate loop pops; latency table needs all
     failures = []
     summary = [
         "### Throughput regression gate",
@@ -192,6 +234,8 @@ def main():
         print(f"{label:<44} {'(no baseline)':>12} {cur_rps:>12.0f} {'-':>7}")
         summary.append(
             f"| `{label}` | — | {cur_rps:,.0f} | — | ⚠️ not in baseline |")
+
+    summary.extend(latency_summary(baseline, current_all))
 
     if args.current_obs:
         error = check_obs_snapshot(args.current_obs)

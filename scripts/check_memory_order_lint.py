@@ -27,7 +27,7 @@ import pathlib
 import re
 import sys
 
-SCAN_DIRS = ("src/shard", "src/analysis")
+SCAN_DIRS = ("src/shard", "src/analysis", "src/obs")
 SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 MEMORY_ORDER_RE = re.compile(r"\bmemory_order(?:_\w+|::\w+)")

@@ -34,6 +34,7 @@ void ConvexCachingPolicy::reset(const PolicyContext& ctx) {
   offset_ = 0.0;
   tenant_bump_.assign(ctx.num_tenants, 0.0);
   evictions_.assign(ctx.num_tenants, 0);
+  dual_mass_.assign(ctx.num_tenants, 0.0);
   heaps_.assign(
       options_.index == VictimIndex::kTenantScan ? ctx.num_tenants : 0,
       MinHeap{});
@@ -219,6 +220,11 @@ void ConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
   const auto it = pages_.find(victim);
   CCC_CHECK(it != pages_.end(), "ConvexCaching evicting an untracked page");
   const double victim_budget = effective(it->second.key, owner);
+  // The dual variable y_t of ALG-CONT rises by exactly B(victim) at this
+  // eviction (DESIGN.md §13); bank it against the victim's owner so the
+  // cost tracker can assemble its online lower bound without re-walking
+  // any state. One add — hits never reach this path.
+  dual_mass_[owner] += victim_budget;
   pages_.erase(it);
   if (track_tenant_pages_) tenant_pages_[owner].erase(victim);
 

@@ -119,6 +119,29 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
     return evictions_;
   }
 
+  /// Cumulative dual mass Σ B(victim) attributed to each tenant (summed
+  /// over that tenant's evictions). ALG-CONT raises y_t by exactly the
+  /// victim's budget at each eviction, so this vector is the running dual
+  /// objective of the Fig. 2 primal–dual pair, split by victim owner — the
+  /// raw material of the obs::CostTracker online lower bound on OPT
+  /// (DESIGN.md §13). Maintained unconditionally: one double add on the
+  /// eviction path, nothing on hits.
+  [[nodiscard]] const std::vector<double>& dual_mass_by_tenant()
+      const noexcept {
+    return dual_mass_;
+  }
+
+  /// True when the accumulated dual mass is a feasible-dual certificate:
+  /// the paper's whole-run model (no accounting windows — rollovers re-base
+  /// budgets and orphan earlier y-mass) with the analytic Fig. 3 marginals
+  /// and both debit/bump steps enabled (the ablations break the
+  /// budget-equals-residual correspondence).
+  [[nodiscard]] bool dual_certificate_valid() const noexcept {
+    return options_.window_length == 0 &&
+           options_.derivative == DerivativeMode::kAnalytic &&
+           options_.debit_survivors && options_.bump_victim_tenant;
+  }
+
   /// Live entry count of the global index (diagnostic; 0 in scan mode).
   [[nodiscard]] std::size_t index_size() const noexcept {
     return global_.size();
@@ -219,6 +242,7 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
   double offset_ = 0.0;                  ///< cumulative global debit
   std::vector<double> tenant_bump_;      ///< cumulative per-tenant bumps
   std::vector<std::uint64_t> evictions_; ///< m(i, t)
+  std::vector<double> dual_mass_;        ///< Σ B(victim) per victim owner
   std::vector<MinHeap> heaps_;           ///< scan mode: one heap per tenant
   GlobalHeap global_;                    ///< heap mode: one heap, all tenants
   util::FlatMap<PageState> pages_;       ///< resident pages (flat, SoA)

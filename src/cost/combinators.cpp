@@ -46,7 +46,14 @@ double SumCost::derivative(double x) const {
 }
 
 std::string SumCost::describe() const {
-  return "(" + lhs_->describe() + ") + (" + rhs_->describe() + ")";
+  // Appends instead of a chained operator+ — GCC 12 miscompiles the chain
+  // analysis into a bogus -Wrestrict diagnostic under -Werror.
+  std::string out = "(";
+  out += lhs_->describe();
+  out += ") + (";
+  out += rhs_->describe();
+  out += ")";
+  return out;
 }
 
 std::unique_ptr<CostFunction> SumCost::clone() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -18,6 +19,40 @@ double CostFunction::derivative(double x) const {
 double CostFunction::marginal(std::uint64_t misses) const {
   const double m = static_cast<double>(misses);
   return value(m + 1.0) - value(m);
+}
+
+double CostFunction::conjugate(double lambda) const {
+  // h(b) = λ·b − f(b) is concave for convex f, with h(0) = −f(0) and
+  // h'(b) = λ − f'(b) non-increasing. The supremum sits where h' crosses
+  // zero; we bracket that crossing and return the tangent upper bound
+  // h(lo) + h'(lo)·(hi − lo) ≥ sup h, so the caller's LB = D − Σ f*
+  // never over-certifies.
+  if (lambda <= 0.0) return 0.0;
+  const double h0 = -value(0.0);
+  if (derivative(0.0) >= lambda) return std::max(0.0, h0);
+
+  // Find an upper bracket where the objective stops increasing. If f'
+  // never reaches λ (linear tail below λ) the supremum is +∞.
+  double lo = 0.0;
+  double hi = 1.0;
+  constexpr int kMaxDoublings = 120;
+  int i = 0;
+  for (; i < kMaxDoublings && derivative(hi) < lambda; ++i) hi *= 2.0;
+  if (i == kMaxDoublings) return std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (derivative(mid) < lambda) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    const double slack = (lambda - derivative(lo)) * (hi - lo);
+    if (slack <= 1e-12 * (1.0 + std::fabs(lambda * lo - value(lo)))) break;
+  }
+  const double h_lo = lambda * lo - value(lo);
+  return std::max(std::max(0.0, h0),
+                  h_lo + (lambda - derivative(lo)) * (hi - lo));
 }
 
 double CostFunction::alpha(double x_max) const {

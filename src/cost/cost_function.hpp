@@ -40,6 +40,16 @@ class CostFunction {
   /// differentiability (or even continuity).
   [[nodiscard]] double marginal(std::uint64_t misses) const;
 
+  /// Fenchel conjugate f*(λ) = sup_{b≥0} [λ·b − f(b)], the term that turns
+  /// the primal–dual y-mass into a certified lower bound on OPT (weak
+  /// duality plus Fenchel–Young, DESIGN.md §13). May be +∞ (e.g. a linear
+  /// function with λ above its slope). The default computes a *sound upper
+  /// bound* numerically for convex f — the concave objective is bracketed
+  /// by its tangent, so the returned value is ≥ the true supremum and the
+  /// lower bound D − Σ f*(λ) stays a lower bound; closed-form overrides
+  /// (monomials) are exact. Only meaningful when is_convex().
+  [[nodiscard]] virtual double conjugate(double lambda) const;
+
   /// The curvature constant α = sup_{0<x<=x_max} x·f'(x)/f(x). The default
   /// estimates the supremum numerically on a geometric grid; closed-form
   /// overrides exist for monomials (α = β), linear functions (α = 1), etc.

@@ -1,6 +1,7 @@
 #include "cost/monomial.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/string_util.hpp"
@@ -28,6 +29,17 @@ double MonomialCost::derivative(double x) const {
 double MonomialCost::alpha(double x_max) const {
   CCC_REQUIRE(x_max > 0.0, "alpha needs a positive range");
   return exponent_;
+}
+
+double MonomialCost::conjugate(double lambda) const {
+  if (lambda <= 0.0) return 0.0;
+  if (exponent_ == 1.0)
+    return lambda <= scale_ ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  // Supremum of λb − c·b^β at c·β·b^{β−1} = λ.
+  const double b = std::pow(lambda / (scale_ * exponent_),
+                            1.0 / (exponent_ - 1.0));
+  return (exponent_ - 1.0) * scale_ * std::pow(b, exponent_);
 }
 
 std::string MonomialCost::describe() const {

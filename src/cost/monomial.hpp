@@ -19,6 +19,9 @@ class MonomialCost final : public CostFunction {
   [[nodiscard]] double derivative(double x) const override;
   /// Exact: α = β independent of the range.
   [[nodiscard]] double alpha(double x_max) const override;
+  /// Closed form: (β−1)·c·(λ/(cβ))^{β/(β−1)} for β > 1; for β = 1 the
+  /// conjugate is 0 up to slope c and +∞ beyond.
+  [[nodiscard]] double conjugate(double lambda) const override;
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] std::unique_ptr<CostFunction> clone() const override;
   [[nodiscard]] bool is_convex() const override { return true; }

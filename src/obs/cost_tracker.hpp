@@ -1,0 +1,116 @@
+#pragma once
+/// \file cost_tracker.hpp
+/// \brief Live competitive-ratio telemetry: per-tenant ALG cost next to a
+///        certified online lower bound on OPT, assembled from the dual
+///        mass ALG-DISCRETE banks on every eviction.
+///
+/// The policy layer maintains the ingredients incrementally (one double
+/// add per eviction, nothing on hits — see
+/// ConvexCachingPolicy::dual_mass_by_tenant); `collect()` snapshots them
+/// across shards under the usual one-lock-at-a-time aggregation, and
+/// `snapshot()` turns them into gauges:
+///
+///   - `tenant_cost[i]` — f_i(a_i), the tenant's share of the paper
+///     objective (exactly `ccc_tenant_miss_cost`, recomputed from the
+///     merged books so the two can be cross-checked).
+///   - `dual_lower_bound` — a *feasible dual objective*, hence by weak
+///     duality a lower bound on the fractional optimum of every schedule
+///     that respects the shard partition and capacity split. Per shard s:
+///
+///         LB_s = max_{u > 0} [ u·Σ_i Y_{i,s}  −  Σ_i f_i*(u·f_i'(m_{i,s})) ]
+///
+///     where Y_{i,s} is the banked y-mass (Σ B(victim) over tenant i's
+///     evictions), m_{i,s} the eviction count, f* the Fenchel conjugate,
+///     and u a free dual scaling (duals scale homogeneously, so every u
+///     yields a valid bound — the maximizer just gives the tightest one).
+///     DESIGN.md §13 has the full feasibility argument; property tests
+///     check LB ≤ OPT against the exact offline DP and the formula
+///     against the ALG-CONT transcript.
+///   - `competitive_ratio` — cost_total / dual_lower_bound (0 until a
+///     positive certificate exists), plus the Theorem 1.1 predictions
+///     `α·k` and the value-domain ratio cap Σ-max f_i(αk·x)/f_i(x)
+///     (= β^β·k^β for monomials, Corollary 1.2) to compare against.
+///
+/// Merging: per-tenant miss counts add element-wise (exact integers, like
+/// `Metrics::merge`); dual accounts are kept *separate* per shard — the
+/// conjugate correction is nonlinear in m, so summing two shards' masses
+/// element-wise would misprice it. Accounts are keyed and kept sorted by
+/// `id`, making merge associative and commutative bit-for-bit.
+///
+/// Thread-safety: a CostTracker is a snapshot value type, externally
+/// synchronized like MetricsRegistry (built and read by one thread).
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_function.hpp"
+#include "shard/sharded_cache.hpp"
+
+namespace ccc::obs {
+
+/// One shard's dual account (ShardDualAccount) plus the ordering key that
+/// makes CostTracker::merge canonical.
+struct DualAccount {
+  std::uint64_t id = 0;  ///< unique per account within a tracker
+  bool valid = false;
+  std::vector<double> mass;              ///< Σ B(victim) per tenant
+  std::vector<std::uint64_t> evictions;  ///< m(i, s) per tenant
+};
+
+/// Everything the gauges need, computed once per exposition.
+struct CostSnapshot {
+  std::vector<double> tenant_cost;         ///< f_i(a_i)
+  std::vector<double> tenant_lower_bound;  ///< dual share; may be negative
+  std::vector<double> tenant_ratio;        ///< cost/share, 0 = no certificate
+  double cost_total = 0.0;
+  double dual_lower_bound = 0.0;     ///< certified; 0 until positive
+  double competitive_ratio = 0.0;    ///< cost_total / LB, 0 = no certificate
+  double theorem_alpha_k = 0.0;      ///< Theorem 1.1 argument blow-up α·k
+  double theorem_ratio_bound = 0.0;  ///< value-domain cap; β^β·k^β for x^β
+  bool certified = false;  ///< all accounts carry a valid dual certificate
+};
+
+class CostTracker {
+ public:
+  CostTracker() = default;
+  explicit CostTracker(std::uint32_t num_tenants);
+
+  /// Snapshots `cache`'s books and per-shard dual accounts (account id =
+  /// shard index). Locks shards one at a time; never nests locks.
+  [[nodiscard]] static CostTracker collect(const ShardedCache& cache);
+
+  /// Element-wise add of per-tenant miss counts (sizes must match).
+  void add_misses(const std::vector<std::uint64_t>& misses);
+
+  /// Adds one dual account. Throws std::invalid_argument on a duplicate
+  /// id — two accounts describing the same shard must never be summed.
+  void add_account(DualAccount account);
+
+  /// Exact, associative and commutative: miss counts add element-wise,
+  /// accounts interleave by id. Throws on tenant-count mismatch or
+  /// duplicate account ids.
+  void merge(const CostTracker& other);
+
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return static_cast<std::uint32_t>(misses_.size());
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& misses() const noexcept {
+    return misses_;
+  }
+  [[nodiscard]] const std::vector<DualAccount>& accounts() const noexcept {
+    return accounts_;
+  }
+
+  /// Evaluates costs, lower bound and ratio gauges. `costs` must hold one
+  /// function per tenant; `capacity` is the total cache size k feeding the
+  /// Theorem 1.1 gauges. Pure function of the tracker state — never
+  /// touches live caches.
+  [[nodiscard]] CostSnapshot snapshot(
+      const std::vector<CostFunctionPtr>& costs, std::size_t capacity) const;
+
+ private:
+  std::vector<std::uint64_t> misses_;
+  std::vector<DualAccount> accounts_;  ///< sorted by id
+};
+
+}  // namespace ccc::obs

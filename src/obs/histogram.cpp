@@ -30,14 +30,19 @@ std::uint64_t Histogram::bucket_high(std::size_t index) noexcept {
 }
 
 void Histogram::record(std::uint64_t value) noexcept {
+  // Relaxed: buckets/sum/min/max are independent accumulators with no
+  // cross-field invariant; readers tolerate torn views (histogram.hpp).
   buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
   // Skip the RMW when it would be a no-op — zero is the common case for
   // work histograms of index-less policies.
   if (value != 0) sum_.fetch_add(value, std::memory_order_relaxed);
+  // Relaxed CAS loops: the monotone extremum update needs only atomicity
+  // of the min_/max_ word itself — no other field is ordered against it.
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
          !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
+  // Same single-word extremum argument as min_ above.
   seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -45,19 +50,26 @@ void Histogram::record(std::uint64_t value) noexcept {
 }
 
 void Histogram::merge(const Histogram& other) noexcept {
+  // Relaxed: each word is read/added atomically on its own; merge makes
+  // no cross-field claim, matching the record()/snapshot() contract.
   for (std::size_t i = 0; i < kBucketCount; ++i) {
     const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
     if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
   }
+  // Relaxed: sum_ is an independent accumulator, same rule as the buckets.
   sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+  // Relaxed loads: min_/max_ are single words with no ordering ties.
   const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  // The monotone CAS needs only atomicity of the min_ word, as in record().
   while (other_min < seen && !min_.compare_exchange_weak(
                                  seen, other_min, std::memory_order_relaxed)) {
   }
+  // Same single-word extremum rule for max_.
   const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
   seen = max_.load(std::memory_order_relaxed);
+  // Atomicity of the max_ word is all the monotone CAS needs.
   while (other_max > seen && !max_.compare_exchange_weak(
                                  seen, other_max, std::memory_order_relaxed)) {
   }
@@ -65,6 +77,8 @@ void Histogram::merge(const Histogram& other) noexcept {
 
 std::uint64_t Histogram::count() const noexcept {
   std::uint64_t total = 0;
+  // Relaxed: monotone per-bucket counters; a torn cross-bucket total only
+  // lags concurrent writers, which the read-side contract allows.
   for (const auto& bucket : buckets_)
     total += bucket.load(std::memory_order_relaxed);
   return total;
@@ -74,6 +88,8 @@ HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   snap.buckets.resize(kBucketCount);
   std::uint64_t total = 0;
+  // Relaxed bucket reads: the snapshot is torn-but-sane by contract —
+  // every word is read atomically and the totals derive from those reads.
   for (std::size_t i = 0; i < kBucketCount; ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     total += snap.buckets[i];
@@ -84,7 +100,7 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.sum = sum_.load(std::memory_order_relaxed);
   const std::uint64_t lo = min_.load(std::memory_order_relaxed);
   snap.min = total == 0 ? 0 : lo;
-  snap.max = max_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);  // torn-but-sane read
   return snap;
 }
 

@@ -35,6 +35,7 @@ void SimObserver::on_step(const StepEvent& event, std::uint64_t latency_ns,
   const std::uint64_t rollovers =
       after.window_rollovers - before.window_rollovers;
   if (rollovers != 0) {
+    // Relaxed: independent monotone counter, read only by reporting.
     rollovers_.fetch_add(rollovers, std::memory_order_relaxed);
     if (options_.trace != nullptr)
       options_.trace->instant_event("window_rollover", "cache",
@@ -43,6 +44,7 @@ void SimObserver::on_step(const StepEvent& event, std::uint64_t latency_ns,
   }
   const std::uint64_t rebuilds = after.index_rebuilds - before.index_rebuilds;
   if (rebuilds != 0) {
+    // Relaxed: independent monotone counter, read only by reporting.
     rebuilds_.fetch_add(rebuilds, std::memory_order_relaxed);
     if (options_.trace != nullptr)
       options_.trace->complete_event("index_rebuild", "index",
@@ -54,6 +56,7 @@ void SimObserver::on_step(const StepEvent& event, std::uint64_t latency_ns,
 void SimObserver::on_rebalance(std::span<const std::size_t> before,
                                std::span<const std::size_t> after,
                                std::uint64_t duration_ns) {
+  // Relaxed: independent monotone counter, read only by reporting.
   rebalances_.fetch_add(1, std::memory_order_relaxed);
   if (options_.trace != nullptr)
     options_.trace->complete_event(
@@ -73,14 +76,16 @@ void SimObserver::on_rebalance(std::span<const std::size_t> before,
 void SimObserver::merge(const SimObserver& other) noexcept {
   step_latency_ns_.merge(other.step_latency_ns_);
   eviction_index_work_.merge(other.eviction_index_work_);
+  // Relaxed load/add pairs: counters are independent accumulators and the
+  // source observer is quiescent by the merge contract (observer.hpp).
   steps_.fetch_add(other.steps_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
   rollovers_.fetch_add(other.rollovers_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
+                       std::memory_order_relaxed);  // same rule as steps_
   rebuilds_.fetch_add(other.rebuilds_.load(std::memory_order_relaxed),
-                      std::memory_order_relaxed);
+                      std::memory_order_relaxed);  // same rule as steps_
   rebalances_.fetch_add(other.rebalances_.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
+                        std::memory_order_relaxed);  // same rule as steps_
 }
 
 void SimObserver::fill(MetricsRegistry& registry, const LabelSet& extra)

@@ -70,6 +70,8 @@ class SimObserver final : public StepObserver {
     return eviction_index_work_;
   }
 
+  // Relaxed accessor loads throughout: each counter is an independent
+  // monotone accumulator, so a reporting read needs no ordering.
   [[nodiscard]] std::uint64_t steps_observed() const noexcept {
     return steps_.load(std::memory_order_relaxed);
   }
@@ -80,13 +82,13 @@ class SimObserver final : public StepObserver {
     return eviction_index_work_.count();
   }
   [[nodiscard]] std::uint64_t rollovers_observed() const noexcept {
-    return rollovers_.load(std::memory_order_relaxed);
+    return rollovers_.load(std::memory_order_relaxed);  // reporting read
   }
   [[nodiscard]] std::uint64_t rebuilds_observed() const noexcept {
-    return rebuilds_.load(std::memory_order_relaxed);
+    return rebuilds_.load(std::memory_order_relaxed);  // reporting read
   }
   [[nodiscard]] std::uint64_t rebalances_observed() const noexcept {
-    return rebalances_.load(std::memory_order_relaxed);
+    return rebalances_.load(std::memory_order_relaxed);  // reporting read
   }
 
   /// Adds another observer's histograms and counters into this one

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/cost_tracker.hpp"
 #include "obs/histogram.hpp"
 #include "sim/metrics.hpp"
 
@@ -109,9 +110,20 @@ void snapshot_perf(MetricsRegistry& registry, const PerfCounters& perf,
                    const LabelSet& extra = {});
 
 /// Per-shard capacity/residency/hits/misses/evictions gauges {shard=},
-/// the aggregated per-tenant books and the aggregated PerfCounters of a
-/// sharded frontend.
+/// the aggregated per-tenant books, the aggregated PerfCounters and —
+/// when the cache carries cost functions — the live competitive-ratio
+/// gauges of snapshot_costs, all for a sharded frontend.
 void snapshot_sharded(MetricsRegistry& registry, const ShardedCache& cache,
                       const LabelSet& extra = {});
+
+/// Live competitive-ratio telemetry from an evaluated CostSnapshot:
+/// per-tenant `ccc_cost_total` / `ccc_dual_lower_bound` /
+/// `ccc_competitive_ratio` gauges {tenant=}, their unlabeled totals, and
+/// the Theorem 1.1 prediction gauges `ccc_theorem11_alpha_k` /
+/// `ccc_theorem11_ratio_bound`. Ratio gauges read 0 while no positive
+/// dual certificate exists — dashboards and the nightly bound check skip
+/// zeros instead of dividing by nothing.
+void snapshot_costs(MetricsRegistry& registry, const CostSnapshot& snap,
+                    const LabelSet& extra = {});
 
 }  // namespace ccc::obs

@@ -1,0 +1,127 @@
+#pragma once
+/// \file slow_ring.hpp
+/// \brief Lock-free ring of the N slowest requests seen by the server:
+///        tenant, page, per-stage latency breakdown and batch size.
+///
+/// Single-writer, multi-reader. The server's event-loop thread is the only
+/// writer (it owns all connections, server.hpp), so offer() needs no RMW
+/// atomics at all: each slot is published under a per-slot seqlock —
+/// version bumped to odd, payload stored, version bumped back to even —
+/// and a reader that observes an odd or changed version discards the slot.
+/// This mirrors the shard seqlock hit path (DESIGN.md §9/§13) in miniature;
+/// the memory-order reasoning lives next to each fence below and is
+/// enforced by scripts/check_memory_order_lint.py.
+///
+/// Replacement policy: a new sample evicts the current minimum total only
+/// when strictly slower, so the ring converges to the top-N by total
+/// latency. The writer keeps a plain shadow of the totals — readers never
+/// write, so the shadow needs no synchronization.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccc::obs {
+
+/// One slow request: all stage durations in nanoseconds. `total_ns` is the
+/// attributed end-to-end time (queue + cache + encode — the stages with
+/// per-batch stamps; decode and flush are chunk-, not request-scoped).
+struct SlowRequest {
+  std::uint64_t total_ns = 0;
+  std::uint64_t page = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t batch_size = 0;
+  std::uint64_t queue_ns = 0;   ///< first enqueue → batch start
+  std::uint64_t cache_ns = 0;   ///< access_batch service time
+  std::uint64_t encode_ns = 0;  ///< response serialization
+};
+
+class SlowRequestRing {
+ public:
+  static constexpr std::size_t kDefaultSlots = 32;
+
+  explicit SlowRequestRing(std::size_t slots = kDefaultSlots)
+      : slots_(slots), shadow_total_(slots, 0) {}
+
+  SlowRequestRing(const SlowRequestRing&) = delete;
+  SlowRequestRing& operator=(const SlowRequestRing&) = delete;
+
+  /// Writer-only (event-loop thread). Inserts `request` if it is slower
+  /// than the current minimum resident total; otherwise drops it. O(N)
+  /// scan over the plain shadow array — N is tiny and offers happen at
+  /// batch, not request, granularity.
+  void offer(const SlowRequest& request) noexcept {
+    std::size_t victim = 0;
+    std::uint64_t victim_total = shadow_total_[0];
+    for (std::size_t i = 1; i < shadow_total_.size(); ++i) {
+      if (shadow_total_[i] < victim_total) {
+        victim_total = shadow_total_[i];
+        victim = i;
+      }
+    }
+    if (request.total_ns <= victim_total) return;
+    Slot& slot = slots_[victim];
+    // Writer-private read: we are the only mutator of version words.
+    const std::uint64_t seq = slot.version.load(std::memory_order_relaxed);
+    // Odd window open: relaxed store + release fence (the shard seqlock
+    // idiom, seqlock_table.hpp) — the fence orders the odd version before
+    // every payload store below, so a reader that observes any payload
+    // byte of this offer also observes the window was open.
+    slot.version.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.payload = request;
+    // Window close: release store carries the payload stores above — a
+    // reader acquiring this even value sees the complete request.
+    slot.version.store(seq + 2, std::memory_order_release);
+    shadow_total_[victim] = request.total_ns;
+  }
+
+  /// Reader-safe snapshot: every slot whose seqlock was stable during the
+  /// copy, slowest first. Concurrent offers may hide at most the slots
+  /// they are touching.
+  [[nodiscard]] std::vector<SlowRequest> snapshot() const {
+    std::vector<SlowRequest> out;
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      // Acquire pairs with the writer's even release store: a stable even
+      // version sandwiching the copy proves the payload bytes are from one
+      // complete offer().
+      const std::uint64_t before =
+          slot.version.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) continue;
+      const SlowRequest copy = slot.payload;
+      // The fence keeps the payload reads above the re-check load — same
+      // discipline as the shard seqlock readers (DESIGN.md §9).
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t after =
+          slot.version.load(std::memory_order_relaxed);
+      if (after != before) continue;
+      out.push_back(copy);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowRequest& a, const SlowRequest& b) {
+                return a.total_ns > b.total_ns;
+              });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in flight; even > 0 = stable.
+    std::atomic<std::uint64_t> version{0};
+    SlowRequest payload;
+  };
+
+  std::vector<Slot> slots_;
+  /// Writer-private copy of each slot's resident total (readers never see
+  /// it, so no atomics needed).
+  std::vector<std::uint64_t> shadow_total_;
+};
+
+}  // namespace ccc::obs

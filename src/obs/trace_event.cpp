@@ -103,6 +103,7 @@ void TraceEventWriter::complete_event(std::string_view name,
                                       std::string_view category,
                                       std::uint64_t ts_us,
                                       std::uint64_t dur_us, Args args) {
+  if (!enabled()) return;
   const util::MutexLock lock(mutex_);
   if (!admit_locked()) return;
   write_prefix(name, category, 'X', ts_us);
@@ -113,6 +114,7 @@ void TraceEventWriter::complete_event(std::string_view name,
 void TraceEventWriter::instant_event(std::string_view name,
                                      std::string_view category,
                                      std::uint64_t ts_us, Args args) {
+  if (!enabled()) return;
   const util::MutexLock lock(mutex_);
   if (!admit_locked()) return;
   write_prefix(name, category, 'i', ts_us);

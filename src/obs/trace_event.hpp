@@ -16,6 +16,7 @@
 /// counted and recorded as a final metadata event so truncation is never
 /// silent).
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
@@ -61,6 +62,21 @@ class TraceEventWriter {
   void instant_event(std::string_view name, std::string_view category,
                      std::uint64_t ts_us, Args args);
 
+  /// Runtime toggle (the server's /debug/trace endpoint): a disabled
+  /// writer drops events without touching the mutex or the counters, so
+  /// flipping it off stops all trace I/O immediately and cheaply. Starts
+  /// enabled — constructing a writer means tracing was requested.
+  void set_enabled(bool on) noexcept {
+    // Relaxed: the flag is an independent on/off switch — event bodies are
+    // serialized by mutex_, and a racing emit seeing the stale value only
+    // writes/drops one more span, which the toggle semantics allow.
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    // Relaxed: see set_enabled — stale reads are benign by design.
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
   /// Microseconds elapsed since the writer was constructed.
   [[nodiscard]] std::uint64_t now_us() const noexcept;
 
@@ -84,6 +100,8 @@ class TraceEventWriter {
   [[nodiscard]] bool admit_locked() CCC_REQUIRES(mutex_);
 
   std::unique_ptr<std::ostream> owned_;
+  /// /debug/trace toggle; read before taking the mutex on every emit.
+  std::atomic<bool> enabled_{true};
   /// Set once at construction; the *stream* it points at is written only
   /// under `mutex_`.
   std::ostream* os_ CCC_PT_GUARDED_BY(mutex_);

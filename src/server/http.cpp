@@ -36,7 +36,7 @@ HttpParse parse_http_head(std::string_view in, HttpRequest& request,
 }
 
 std::string make_http_response(int status, std::string_view content_type,
-                               std::string_view body) {
+                               std::string_view body, bool head_only) {
   const char* reason = "OK";
   switch (status) {
     case 200: reason = "OK"; break;
@@ -50,8 +50,10 @@ std::string make_http_response(int status, std::string_view content_type,
      << "Content-Type: " << content_type << "\r\n"
      << "Content-Length: " << body.size() << "\r\n"
      << "Connection: close\r\n"
-     << "\r\n"
-     << body;
+     << "\r\n";
+  // HEAD responses carry the headers of the corresponding GET — including
+  // the real Content-Length — but no body (RFC 9110 §9.3.2).
+  if (!head_only) os << body;
   return os.str();
 }
 

@@ -6,9 +6,11 @@
 ///
 /// The metrics endpoint speaks the smallest useful dialect: the request
 /// body is ignored (scrapes are GETs), every response carries
-/// `Connection: close` and an explicit Content-Length, and anything that
-/// is not `GET /metrics` earns a 404 (or 405 for non-GET methods). That
-/// is the entire contract Prometheus and curl need.
+/// `Connection: close` and an explicit Content-Length, HEAD is answered
+/// with the GET headers and an empty body, and anything that is not a
+/// known target (`/metrics`, `/debug/*` — server.cpp routes) earns a 404
+/// (or 405 for methods other than GET/HEAD). That is the entire contract
+/// Prometheus, curl and the debug tooling need.
 
 #include <cstddef>
 #include <string>
@@ -41,10 +43,13 @@ inline constexpr std::size_t kMaxHeadBytes = 8 * 1024;
                                         std::size_t& consumed);
 
 /// Serializes a complete response with status line, Content-Type,
-/// Content-Length and Connection: close headers.
+/// Content-Length and Connection: close headers. With `head_only` the
+/// headers (including the real Content-Length of `body`) are emitted but
+/// the body is omitted — the HEAD-request contract of RFC 9110 §9.3.2.
 [[nodiscard]] std::string make_http_response(int status,
                                              std::string_view content_type,
-                                             std::string_view body);
+                                             std::string_view body,
+                                             bool head_only = false);
 
 /// Content type mandated by the Prometheus text exposition format 0.0.4.
 inline constexpr std::string_view kPrometheusContentType =

@@ -30,6 +30,15 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Monotonic nanoseconds for the stage stamps (steady clock, comparable
+/// only within this process).
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 /// epoll user-data sentinels for the non-connection fds; connection events
 /// carry the Connection pointer instead (always > kSentinelMax).
 constexpr std::uint64_t kCacheListener = 1;
@@ -103,6 +112,9 @@ struct CacheServer::Connection {
   std::size_t out_off = 0;
   std::string http_in;
   std::uint64_t requests_served = 0;
+  /// Decode stamp of the oldest request in `pending` (0 = none): the queue
+  /// stage of the latency attribution measures from here to batch start.
+  std::uint64_t first_enqueue_ns = 0;
 };
 
 CacheServer::CacheServer(ServerOptions options,
@@ -292,8 +304,16 @@ void CacheServer::handle_readable(Connection& conn) {
 
 void CacheServer::handle_cache_bytes(Connection& conn,
                                      std::string_view bytes) {
+  // One stamp per read chunk: every request decoded from this chunk shares
+  // it as its arrival time — cheap (two clock reads per chunk, not per
+  // frame) and accurate to within one chunk's decode time. Batch-limit
+  // flushes run *inside* the decoder callback; their wall time accumulates
+  // in chunk_batch_ns_ and is excluded so the decode stage measures only
+  // frame parsing.
+  const std::uint64_t decode_start_ns = now_ns();
+  chunk_batch_ns_ = 0;
   const DecodeError err = conn.decoder.feed(
-      bytes, [this, &conn](const FrameView& frame) {
+      bytes, [this, &conn, decode_start_ns](const FrameView& frame) {
         ++counters_.frames;
         const std::optional<RequestMsg> msg = parse_request(frame);
         // A body-size mismatch cannot happen here (the decoder's max body
@@ -320,6 +340,7 @@ void CacheServer::handle_cache_bytes(Connection& conn,
               ++counters_.bad_requests;
               return;
             }
+            if (conn.pending.empty()) conn.first_enqueue_ns = decode_start_ns;
             conn.pending.push_back(Request{msg->tenant, msg->page});
             conn.pending_ops.push_back(msg->opcode);
             if (conn.pending.size() >= options_.batch_limit)
@@ -336,6 +357,10 @@ void CacheServer::handle_cache_bytes(Connection& conn,
         append_response(conn.out, Status::kBadRequest);
         ++counters_.bad_requests;
       });
+  const std::uint64_t decode_elapsed_ns = now_ns() - decode_start_ns;
+  stage_decode_ns_hist_.record(decode_elapsed_ns > chunk_batch_ns_
+                                   ? decode_elapsed_ns - chunk_batch_ns_
+                                   : 0);
   if (err != DecodeError::kNone) {
     // Framing is unrecoverable: answer everything decoded so far, send one
     // kMalformed marker and close — this connection only.
@@ -351,13 +376,18 @@ void CacheServer::flush_pending_batch(Connection& conn) {
   if (conn.pending.empty()) return;
   static thread_local std::vector<StepEvent> events;
   events.clear();
-  const auto start = Clock::now();
+  // Stage stamps: queue = first enqueue → here; cache = access_batch;
+  // encode = response serialization. Four clock reads per *batch* — the
+  // per-request hit path is untouched (gated by the e11 regression cells).
+  const std::uint64_t batch_start_ns = now_ns();
+  const std::uint64_t queue_ns =
+      conn.first_enqueue_ns != 0 && batch_start_ns > conn.first_enqueue_ns
+          ? batch_start_ns - conn.first_enqueue_ns
+          : 0;
   cache_.access_batch(std::span<const Request>(conn.pending), events);
-  const auto ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           start)
-          .count());
-  batch_latency_ns_hist_.record(ns);
+  const std::uint64_t cache_done_ns = now_ns();
+  const std::uint64_t cache_ns = cache_done_ns - batch_start_ns;
+  batch_latency_ns_hist_.record(cache_ns);
   batch_size_hist_.record(conn.pending.size());
   ++counters_.batches;
   counters_.requests += conn.pending.size();
@@ -369,8 +399,43 @@ void CacheServer::flush_pending_batch(Connection& conn) {
       append_response(conn.out,
                       events[i].hit ? Status::kHit : Status::kMiss);
   }
+  const std::uint64_t encode_done_ns = now_ns();
+  const std::uint64_t encode_ns = encode_done_ns - cache_done_ns;
+  stage_queue_ns_hist_.record(queue_ns);
+  stage_cache_ns_hist_.record(cache_ns);
+  stage_encode_ns_hist_.record(encode_ns);
+  chunk_batch_ns_ += encode_done_ns - batch_start_ns;
+
+  // Slow-request ring: attribute the batch to its oldest request (the one
+  // that waited the full queue stage — the worst off in the batch).
+  obs::SlowRequest slow;
+  slow.queue_ns = queue_ns;
+  slow.cache_ns = cache_ns;
+  slow.encode_ns = encode_ns;
+  slow.total_ns = queue_ns + cache_ns + encode_ns;
+  slow.tenant = conn.pending.front().tenant;
+  slow.page = conn.pending.front().page;
+  slow.batch_size = static_cast<std::uint32_t>(conn.pending.size());
+  slow_ring_.offer(slow);
+
+  if (trace_writer_ != nullptr) {
+    // complete_event drops the span itself when /debug/trace turned the
+    // writer off — no second flag to keep in sync here. The span starts
+    // at the first enqueue (queue + cache + encode ago).
+    const std::uint64_t dur_us = slow.total_ns / 1000;
+    const std::uint64_t end_us = trace_writer_->now_us();
+    trace_writer_->complete_event(
+        "batch", "server", end_us > dur_us ? end_us - dur_us : 0, dur_us,
+        {{"size", conn.pending.size()},
+         {"tenant", slow.tenant},
+         {"queue_ns", queue_ns},
+         {"cache_ns", cache_ns},
+         {"encode_ns", encode_ns}});
+  }
+
   conn.pending.clear();
   conn.pending_ops.clear();
+  conn.first_enqueue_ns = 0;
 }
 
 void CacheServer::queue_stats_response(Connection& conn) {
@@ -409,20 +474,171 @@ void CacheServer::handle_metrics_bytes(Connection& conn,
     return;
   }
   conn.http_in.erase(0, consumed);
-  if (request.method != "GET") {
-    conn.out += make_http_response(405, "text/plain", "method not allowed\n");
-  } else if (request.target == "/metrics") {
+  handle_http_request(conn, request.method, request.target);
+  conn.close_after_flush = true;
+}
+
+void CacheServer::handle_http_request(Connection& conn,
+                                      const std::string& method,
+                                      const std::string& target) {
+  // HEAD gets the GET headers and Content-Length, no body (http.hpp).
+  const bool head = method == "HEAD";
+  if (method != "GET" && !head) {
+    conn.out +=
+        make_http_response(405, "text/plain", "method not allowed\n");
+    return;
+  }
+  const std::size_t query_at = target.find('?');
+  const std::string path = target.substr(0, query_at);
+  const std::string query =
+      query_at == std::string::npos ? "" : target.substr(query_at + 1);
+
+  if (path == "/metrics") {
     obs::MetricsRegistry registry;
     fill_metrics(registry);
     std::ostringstream page;
     registry.write_prometheus(page);
     conn.out += make_http_response(200, std::string(kPrometheusContentType),
-                                  page.str());
+                                  page.str(), head);
     ++counters_.metrics_scrapes;
-  } else {
-    conn.out += make_http_response(404, "text/plain", "not found\n");
+    return;
   }
-  conn.close_after_flush = true;
+  if (path == "/debug/costs") {
+    conn.out +=
+        make_http_response(200, "application/json", debug_costs_json(), head);
+    ++counters_.debug_requests;
+    return;
+  }
+  if (path == "/debug/slow") {
+    conn.out +=
+        make_http_response(200, "application/json", debug_slow_json(), head);
+    ++counters_.debug_requests;
+    return;
+  }
+  if (path == "/debug/trace") {
+    if (trace_writer_ == nullptr) {
+      conn.out += make_http_response(
+          400, "application/json",
+          "{\"error\": \"tracing not configured — start with CCC_OBS_TRACE "
+          "set\"}\n",
+          head);
+      return;
+    }
+    if (query == "on") trace_writer_->set_enabled(true);
+    if (query == "off") trace_writer_->set_enabled(false);
+    conn.out += make_http_response(
+        200, "application/json",
+        trace_writer_->enabled() ? "{\"tracing\": true}\n"
+                                 : "{\"tracing\": false}\n",
+        head);
+    ++counters_.debug_requests;
+    return;
+  }
+  if (path.rfind("/debug/hist/", 0) == 0) {
+    const auto [found, body] =
+        debug_hist_json(std::string_view(path).substr(12));
+    conn.out += make_http_response(found ? 200 : 404, "application/json",
+                                   body, head);
+    ++counters_.debug_requests;
+    return;
+  }
+  conn.out += make_http_response(404, "text/plain", "not found\n", head);
+}
+
+std::string CacheServer::debug_costs_json() const {
+  std::ostringstream os;
+  if (costs_ == nullptr) {
+    os << "{\"error\": \"no cost functions configured\"}\n";
+    return os.str();
+  }
+  const obs::CostSnapshot snap = obs::CostTracker::collect(cache_).snapshot(
+      *costs_, cache_.total_capacity());
+  os << "{\n  \"certified\": " << (snap.certified ? "true" : "false")
+     << ",\n  \"cost_total\": " << snap.cost_total
+     << ",\n  \"dual_lower_bound\": " << snap.dual_lower_bound
+     << ",\n  \"competitive_ratio\": " << snap.competitive_ratio
+     << ",\n  \"theorem_alpha_k\": " << snap.theorem_alpha_k
+     << ",\n  \"theorem_ratio_bound\": " << snap.theorem_ratio_bound
+     << ",\n  \"tenants\": [";
+  for (std::size_t t = 0; t < snap.tenant_cost.size(); ++t) {
+    if (t != 0) os << ",";
+    os << "\n    {\"tenant\": " << t << ", \"cost\": " << snap.tenant_cost[t]
+       << ", \"lower_bound\": " << snap.tenant_lower_bound[t]
+       << ", \"ratio\": " << snap.tenant_ratio[t] << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string CacheServer::debug_slow_json() const {
+  const std::vector<obs::SlowRequest> slow = slow_ring_.snapshot();
+  std::ostringstream os;
+  os << "{\n  \"capacity\": " << slow_ring_.capacity()
+     << ",\n  \"requests\": [";
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    const obs::SlowRequest& r = slow[i];
+    if (i != 0) os << ",";
+    os << "\n    {\"total_ns\": " << r.total_ns
+       << ", \"tenant\": " << r.tenant << ", \"page\": " << r.page
+       << ", \"batch_size\": " << r.batch_size
+       << ", \"queue_ns\": " << r.queue_ns
+       << ", \"cache_ns\": " << r.cache_ns
+       << ", \"encode_ns\": " << r.encode_ns << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::pair<bool, std::string> CacheServer::debug_hist_json(
+    std::string_view name) const {
+  obs::MetricsRegistry registry;
+  fill_metrics(registry);
+  const obs::MetricFamily* family = registry.find(std::string(name));
+  if (family == nullptr || family->kind != obs::MetricKind::kHistogram) {
+    // 404 body lists what *would* work, so the endpoint is discoverable.
+    std::ostringstream os;
+    os << "{\"error\": \"no histogram named '" << name
+       << "'\", \"histograms\": [";
+    bool first = true;
+    for (const obs::MetricFamily& f : registry.families()) {
+      if (f.kind != obs::MetricKind::kHistogram) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << f.name << '"';
+    }
+    os << "]}\n";
+    return {false, os.str()};
+  }
+  std::ostringstream os;
+  os << "{\n  \"name\": \"" << family->name << "\",\n  \"help\": \""
+     << family->help << "\",\n  \"samples\": [";
+  for (std::size_t s = 0; s < family->histograms.size(); ++s) {
+    const obs::HistogramSample& sample = family->histograms[s];
+    if (s != 0) os << ",";
+    os << "\n    {\"labels\": {";
+    for (std::size_t l = 0; l < sample.labels.size(); ++l) {
+      if (l != 0) os << ", ";
+      os << '"' << sample.labels[l].first << "\": \""
+         << sample.labels[l].second << '"';
+    }
+    const obs::HistogramSnapshot& snap = sample.snapshot;
+    os << "}, \"count\": " << snap.count << ", \"sum\": " << snap.sum
+       << ", \"min\": " << snap.min << ", \"max\": " << snap.max
+       << ", \"p50\": " << snap.quantile(0.50)
+       << ", \"p99\": " << snap.quantile(0.99)
+       << ", \"p999\": " << snap.quantile(0.999) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first_bucket) os << ", ";
+      first_bucket = false;
+      os << '[' << obs::Histogram::bucket_high(i) << ", " << snap.buckets[i]
+         << ']';
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+  return {true, os.str()};
 }
 
 void CacheServer::fill_metrics(obs::MetricsRegistry& registry) const {
@@ -455,6 +671,8 @@ void CacheServer::fill_metrics(obs::MetricsRegistry& registry) const {
           c.bytes_written);
   counter("ccc_server_metrics_scrapes_total", "/metrics responses served",
           c.metrics_scrapes);
+  counter("ccc_server_debug_requests_total", "/debug/* responses served",
+          c.debug_requests);
   counter("ccc_server_reads_paused_total",
           "Backpressure activations (output backlog over limit)",
           c.reads_paused);
@@ -467,10 +685,28 @@ void CacheServer::fill_metrics(obs::MetricsRegistry& registry) const {
   registry.set_histogram("ccc_server_connection_requests",
                          "Requests served per closed connection", {},
                          connection_requests_hist_.snapshot());
+  // One family, one sample per stage: decode (frame parsing per read
+  // chunk), queue (first enqueue → batch start), cache (access_batch),
+  // encode (response serialization), flush (socket writes).
+  const auto stage = [&registry](const char* name,
+                                 const obs::Histogram& hist) {
+    registry.set_histogram("ccc_server_stage_latency_ns",
+                           "Per-stage request latency attribution",
+                           {{"stage", name}}, hist.snapshot());
+  };
+  stage("decode", stage_decode_ns_hist_);
+  stage("queue", stage_queue_ns_hist_);
+  stage("cache", stage_cache_ns_hist_);
+  stage("encode", stage_encode_ns_hist_);
+  stage("flush", stage_flush_ns_hist_);
   obs::snapshot_sharded(registry, cache_);
 }
 
 void CacheServer::flush_output(Connection& conn) {
+  // Flush stage: recorded only when there is output to push, so idle
+  // wakeups do not flood the histogram with zeros.
+  const bool had_output = conn.out_off < conn.out.size();
+  const std::uint64_t flush_start_ns = had_output ? now_ns() : 0;
   while (conn.out_off < conn.out.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.out.data() + conn.out_off,
@@ -484,6 +720,7 @@ void CacheServer::flush_output(Connection& conn) {
     counters_.bytes_written += static_cast<std::uint64_t>(n);
     conn.out_off += static_cast<std::size_t>(n);
   }
+  if (had_output) stage_flush_ns_hist_.record(now_ns() - flush_start_ns);
   if (conn.out_off >= conn.out.size()) {
     conn.out.clear();
     conn.out_off = 0;

@@ -38,10 +38,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
+#include "obs/slow_ring.hpp"
+#include "obs/trace_event.hpp"
 #include "shard/sharded_cache.hpp"
 
 namespace ccc::server {
@@ -84,6 +87,7 @@ struct ServerCounters {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t metrics_scrapes = 0;  ///< /metrics responses served
+  std::uint64_t debug_requests = 0;   ///< /debug/* responses served
   std::uint64_t reads_paused = 0;     ///< backpressure activations
 };
 
@@ -123,9 +127,24 @@ class CacheServer {
 
   /// Builds the same registry the /metrics endpoint serializes: server
   /// counters, batch-size/latency and per-connection-lifetime histograms,
+  /// the per-stage request-latency attribution histograms
+  /// (`ccc_server_stage_latency_ns{stage=decode|queue|cache|encode|flush}`),
   /// plus the full sharded-cache snapshot (per-tenant books, per-shard
-  /// occupancy, perf counters).
+  /// occupancy, perf counters, live competitive-ratio gauges).
   void fill_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attaches a span writer for per-batch server spans, togglable at
+  /// runtime via `GET /debug/trace?on|off`. The writer must outlive the
+  /// server; call before run(). nullptr (the default) disables both the
+  /// spans and the toggle endpoint.
+  void set_trace_writer(obs::TraceEventWriter* writer) noexcept {
+    trace_writer_ = writer;
+  }
+
+  /// The N slowest attributed requests (what /debug/slow serves).
+  [[nodiscard]] const obs::SlowRequestRing& slow_ring() const noexcept {
+    return slow_ring_;
+  }
 
   /// Write end of the wake pipe — what the signal glue writes to. Owned by
   /// the server; do not close.
@@ -139,6 +158,15 @@ class CacheServer {
   void handle_readable(Connection& conn);
   void handle_cache_bytes(Connection& conn, std::string_view bytes);
   void handle_metrics_bytes(Connection& conn, std::string_view bytes);
+  /// Routes one parsed HTTP request (GET/HEAD mux: /metrics, /debug/*).
+  void handle_http_request(Connection& conn, const std::string& method,
+                           const std::string& target);
+  [[nodiscard]] std::string debug_costs_json() const;
+  [[nodiscard]] std::string debug_slow_json() const;
+  /// Full bucket dump of one named histogram family, or a 404 body
+  /// listing the valid names (the bool distinguishes the two).
+  [[nodiscard]] std::pair<bool, std::string> debug_hist_json(
+      std::string_view name) const;
   /// Runs the pending GET/SET batch (if any) and queues the responses.
   void flush_pending_batch(Connection& conn);
   void queue_stats_response(Connection& conn);
@@ -170,6 +198,20 @@ class CacheServer {
   obs::Histogram batch_size_hist_;
   obs::Histogram batch_latency_ns_hist_;
   obs::Histogram connection_requests_hist_;  ///< requests per closed conn
+
+  /// Request-latency attribution (DESIGN.md §13): stage deltas recorded by
+  /// the loop thread at the stage boundaries — decode per read chunk,
+  /// queue/cache/encode per batch, flush per non-empty flush_output call.
+  obs::Histogram stage_decode_ns_hist_;
+  obs::Histogram stage_queue_ns_hist_;
+  obs::Histogram stage_cache_ns_hist_;
+  obs::Histogram stage_encode_ns_hist_;
+  obs::Histogram stage_flush_ns_hist_;
+  obs::SlowRequestRing slow_ring_;
+  obs::TraceEventWriter* trace_writer_ = nullptr;  ///< not owned
+  /// Batch wall time spent inside the current decode chunk (loop thread
+  /// only) — subtracted so the decode stage excludes nested batch flushes.
+  std::uint64_t chunk_batch_ns_ = 0;
 };
 
 /// Installs SIGTERM and SIGINT handlers that stop `server` through its

@@ -112,6 +112,11 @@ int run(int argc, const char* const* argv) {
 
   server::CacheServer server(options, cache_options, nullptr,
                              costs.empty() ? nullptr : &costs);
+  // Per-batch server spans when CCC_OBS_TRACE names an output file; the
+  // /debug/trace endpoint toggles the writer at runtime without a restart.
+  const std::unique_ptr<obs::TraceEventWriter> trace_writer =
+      obs::TraceEventWriter::from_env();
+  if (trace_writer != nullptr) server.set_trace_writer(trace_writer.get());
   server.start();
   server::stop_on_signals(server);
 

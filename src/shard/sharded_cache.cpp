@@ -388,6 +388,24 @@ std::vector<ShardStats> ShardedCache::shard_stats() const {
   return stats;
 }
 
+std::vector<ShardDualAccount> ShardedCache::dual_accounts() const {
+  std::vector<ShardDualAccount> accounts;
+  accounts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mutex);
+    ShardDualAccount account;
+    const auto* convex =
+        dynamic_cast<const ConvexCachingPolicy*>(shard->policy.get());
+    if (convex != nullptr) {
+      account.valid = convex->dual_certificate_valid();
+      account.mass = convex->dual_mass_by_tenant();
+      account.evictions = convex->tenant_evictions();
+    }
+    accounts.push_back(std::move(account));
+  }
+  return accounts;
+}
+
 std::vector<std::size_t> ShardedCache::capacities() const {
   std::vector<std::size_t> caps;
   caps.reserve(shards_.size());

@@ -103,6 +103,20 @@ struct ShardedCacheOptions {
   StepObserver* step_observer = nullptr;
 };
 
+/// Raw per-shard ingredients of the online dual lower bound (DESIGN.md
+/// §13): the cumulative y-mass Σ B(victim) split by victim owner and the
+/// per-tenant eviction counts m(i,s) that cap the dual coefficients at
+/// f'_i(m(i,s)). Each shard is its own (CP) instance with capacity k_s, so
+/// the Fenchel correction must be applied per shard — obs::CostTracker
+/// keeps these accounts separate instead of summing them element-wise.
+struct ShardDualAccount {
+  /// False unless the shard runs ALG-DISCRETE in the paper's whole-run
+  /// configuration (see ConvexCachingPolicy::dual_certificate_valid).
+  bool valid = false;
+  std::vector<double> mass;                 ///< Σ B(victim) per tenant
+  std::vector<std::uint64_t> evictions;     ///< m(i, s) per tenant
+};
+
 /// Per-shard observability snapshot (inputs to rebalancing decisions).
 struct ShardStats {
   std::size_t capacity = 0;
@@ -196,6 +210,13 @@ class ShardedCache {
 
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   [[nodiscard]] std::vector<std::size_t> capacities() const;
+
+  /// One dual account per shard, read under each shard's mutex (locks are
+  /// taken one at a time, like every other aggregation path). Accounts are
+  /// `valid == false` when the shard's policy is not ALG-DISCRETE in the
+  /// certificate-bearing configuration; obs::CostTracker then reports no
+  /// lower bound rather than a wrong one.
+  [[nodiscard]] std::vector<ShardDualAccount> dual_accounts() const;
 
   /// Replaces the rebalancer (nullptr restores the default miss-rate hook).
   void set_rebalance_hook(RebalanceHook hook);

@@ -20,6 +20,7 @@
 #include "cost/monomial.hpp"
 #include "obs/observer.hpp"
 #include "obs/registry.hpp"
+#include "obs/slow_ring.hpp"
 #include "obs/trace_event.hpp"
 #include "shard/sharded_cache.hpp"
 #include "sim/simulator.hpp"
@@ -209,6 +210,150 @@ TEST(Histogram, ConcurrentRecordLosesNothing) {
   std::uint64_t bucket_total = 0;
   for (const std::uint64_t b : snap.buckets) bucket_total += b;
   EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(Histogram, SingleSampleHasDegenerateExtremaAndQuantiles) {
+  Histogram h;
+  h.record(42);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 42u);
+  EXPECT_EQ(snap.min, 42u);
+  EXPECT_EQ(snap.max, 42u);
+  // Every quantile of a one-sample distribution is that sample.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(snap.quantile(q), 42u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 42.0);
+}
+
+TEST(Histogram, MergingEmptyAndNonEmptyIsIdentityEitherWay) {
+  const std::vector<std::uint64_t> values{3, 70, 4096, 123456};
+  Histogram reference;
+  record_all(reference, values);
+  const HistogramSnapshot expect = reference.snapshot();
+
+  // empty ⊕ nonempty: the empty histogram's sentinel min (~0) must not
+  // survive the merge as a bogus observed minimum.
+  Histogram empty_lhs, rhs;
+  record_all(rhs, values);
+  empty_lhs.merge(rhs);
+  const HistogramSnapshot lhs_snap = empty_lhs.snapshot();
+  EXPECT_EQ(lhs_snap.buckets, expect.buckets);
+  EXPECT_EQ(lhs_snap.count, expect.count);
+  EXPECT_EQ(lhs_snap.min, expect.min);
+  EXPECT_EQ(lhs_snap.max, expect.max);
+
+  // nonempty ⊕ empty: a no-op.
+  Histogram lhs2, empty_rhs;
+  record_all(lhs2, values);
+  lhs2.merge(empty_rhs);
+  const HistogramSnapshot rhs_snap = lhs2.snapshot();
+  EXPECT_EQ(rhs_snap.buckets, expect.buckets);
+  EXPECT_EQ(rhs_snap.count, expect.count);
+  EXPECT_EQ(rhs_snap.min, expect.min);
+  EXPECT_EQ(rhs_snap.max, expect.max);
+}
+
+TEST(Histogram, TopBucketAbsorbsMaximalValuesWithoutOverflow) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  EXPECT_EQ(Histogram::bucket_of(kMax), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_high(Histogram::kBucketCount - 1), kMax);
+  Histogram h;
+  h.record(kMax);
+  h.record(kMax);
+  h.record(1);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max, kMax);
+  EXPECT_EQ(snap.min, 1u);
+  // The top quantile's representative lies inside the saturated top
+  // bucket and never exceeds the observed max (no midpoint overflow).
+  EXPECT_GE(snap.quantile(1.0),
+            Histogram::bucket_low(Histogram::kBucketCount - 1));
+  EXPECT_LE(snap.quantile(1.0), kMax);
+  EXPECT_EQ(snap.buckets[Histogram::kBucketCount - 1], 2u);
+}
+
+// -------------------------------------------------------------- slow ring
+
+TEST(SlowRequestRing, KeepsTopNByTotalReplacingOnlyStrictlySlower) {
+  SlowRequestRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.snapshot().empty());
+
+  for (const std::uint64_t total : {10u, 20u, 30u, 40u})
+    ring.offer(SlowRequest{total, total, 0, 0, 0, 0, 0});
+  // Not slower than the resident minimum (10): dropped.
+  ring.offer(SlowRequest{5, 5, 0, 0, 0, 0, 0});
+  ring.offer(SlowRequest{10, 10, 0, 0, 0, 0, 0});
+  std::vector<SlowRequest> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().total_ns, 40u);
+  EXPECT_EQ(snap.back().total_ns, 10u);
+
+  // Strictly slower than the minimum: replaces exactly the minimum.
+  ring.offer(SlowRequest{15, 15, 0, 0, 0, 0, 0});
+  snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  const std::vector<std::uint64_t> want{40, 30, 20, 15};
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(snap[i].total_ns, want[i]) << i;
+}
+
+TEST(SlowRequestRing, PayloadFieldsRoundTripThroughSnapshot) {
+  SlowRequestRing ring(2);
+  SlowRequest request;
+  request.total_ns = 900;
+  request.page = 0xDEADBEEF;
+  request.tenant = 7;
+  request.batch_size = 64;
+  request.queue_ns = 100;
+  request.cache_ns = 500;
+  request.encode_ns = 300;
+  ring.offer(request);
+  const std::vector<SlowRequest> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].total_ns, 900u);
+  EXPECT_EQ(snap[0].page, 0xDEADBEEFu);
+  EXPECT_EQ(snap[0].tenant, 7u);
+  EXPECT_EQ(snap[0].batch_size, 64u);
+  EXPECT_EQ(snap[0].queue_ns, 100u);
+  EXPECT_EQ(snap[0].cache_ns, 500u);
+  EXPECT_EQ(snap[0].encode_ns, 300u);
+}
+
+TEST(SlowRequestRing, ConcurrentReadersNeverObserveTornRequests) {
+  SlowRequestRing ring(8);
+  std::atomic<bool> stop{false};
+  // Writer publishes requests whose stage fields are fixed multiples of the
+  // total — any torn read breaks a multiple and fails the invariant check.
+  std::thread writer([&] {
+    for (std::uint64_t v = 1; !stop.load(std::memory_order_relaxed); ++v)
+      ring.offer(SlowRequest{v, v, static_cast<std::uint32_t>(v % 16), 1,
+                             2 * v, 3 * v, 5 * v});
+  });
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> observed{0};
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      for (int iter = 0; iter < 2000; ++iter) {
+        const std::vector<SlowRequest> snap = ring.snapshot();
+        for (std::size_t i = 0; i < snap.size(); ++i) {
+          const SlowRequest& req = snap[i];
+          EXPECT_EQ(req.queue_ns, 2 * req.total_ns);
+          EXPECT_EQ(req.cache_ns, 3 * req.total_ns);
+          EXPECT_EQ(req.encode_ns, 5 * req.total_ns);
+          // Sorted slowest-first.
+          if (i > 0) {
+            EXPECT_GE(snap[i - 1].total_ns, req.total_ns);
+          }
+        }
+        observed.fetch_add(snap.size(), std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& reader : readers) reader.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(observed.load(), 0u);
 }
 
 // --------------------------------------------------------------- registry

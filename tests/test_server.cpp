@@ -468,5 +468,126 @@ TEST(Server, MetricsUnderConcurrentLoadIsValidExposition) {
   EXPECT_GE(harness.server->counters().metrics_scrapes, 5u);
 }
 
+TEST(Server, HeadMetricsAnswersGetHeadersWithoutBody) {
+  ServerHarness harness;
+  const std::uint16_t metrics_port = harness.server->metrics_port();
+
+  const std::string response =
+      http_raw(metrics_port, "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // The Prometheus exposition content type, not a generic text/plain.
+  EXPECT_NE(
+      response.find(
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+      std::string::npos);
+  // Content-Length advertises the GET body's size (RFC 9110 §9.3.2)...
+  const std::size_t length_at = response.find("Content-Length: ");
+  ASSERT_NE(length_at, std::string::npos);
+  EXPECT_GT(std::stoul(response.substr(length_at + 16)), 0u);
+  // ...but the body itself is absent: http_raw reads to EOF, and the
+  // response ends exactly at the blank line.
+  const std::size_t head_end = response.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(response.size(), head_end + 4);
+
+  // HEAD routes through the same mux as GET — unknown targets still 404.
+  EXPECT_NE(http_raw(metrics_port, "HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_EQ(harness.stop(), 0);
+  EXPECT_GE(harness.server->counters().metrics_scrapes, 1u);
+}
+
+TEST(Server, DebugEndpointsServeJsonAndHistogramLookup) {
+  ServerHarness harness;
+  const std::uint16_t metrics_port = harness.server->metrics_port();
+
+  // Enough traffic that /debug/costs has books and /debug/slow has entries.
+  server::BlockingClient client(kLoopback, harness.port());
+  for (std::size_t i = 0; i < 256; ++i) {
+    const auto tenant = static_cast<TenantId>(i % 4);
+    client.call(server::Opcode::kGet, tenant, make_page(tenant, i % 64));
+  }
+
+  const std::string costs =
+      server::http_get(kLoopback, metrics_port, "/debug/costs");
+  EXPECT_NE(costs.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(costs.find("Content-Type: application/json"), std::string::npos);
+  for (const char* field : {"\"certified\"", "\"cost_total\"",
+                            "\"dual_lower_bound\"", "\"competitive_ratio\"",
+                            "\"theorem_ratio_bound\"", "\"tenants\""})
+    EXPECT_NE(costs.find(field), std::string::npos) << field;
+
+  const std::string slow =
+      server::http_get(kLoopback, metrics_port, "/debug/slow");
+  EXPECT_NE(slow.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(slow.find("\"capacity\""), std::string::npos);
+  EXPECT_NE(slow.find("\"queue_ns\""), std::string::npos);
+
+  const std::string hist = server::http_get(
+      kLoopback, metrics_port, "/debug/hist/ccc_server_stage_latency_ns");
+  EXPECT_NE(hist.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(hist.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(hist.find("\"stage\""), std::string::npos);
+
+  // An unknown name 404s and the error body lists the valid names.
+  const std::string missing =
+      server::http_get(kLoopback, metrics_port, "/debug/hist/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(missing.find("ccc_server_batch_size"), std::string::npos);
+
+  // No writer attached: the toggle reports its precondition, not a 500.
+  const std::string trace =
+      server::http_get(kLoopback, metrics_port, "/debug/trace?on");
+  EXPECT_NE(trace.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(trace.find("tracing not configured"), std::string::npos);
+
+  EXPECT_EQ(harness.stop(), 0);
+  // The 400 precondition failure is not a served debug response.
+  EXPECT_EQ(harness.server->counters().debug_requests, 4u);
+}
+
+TEST(Server, DebugTraceToggleRoundTrip) {
+  std::ostringstream trace_out;
+  obs::TraceEventWriter writer(trace_out);
+  const auto costs = quadratic_costs(4);
+  ShardedCacheOptions cache_options;
+  cache_options.capacity = 32;
+  cache_options.num_shards = 4;
+  cache_options.num_tenants = 4;
+  cache_options.seed = 7;
+  server::CacheServer server({}, cache_options, nullptr, &costs);
+  server.set_trace_writer(&writer);  // before run(), per the contract
+  server.start();
+  int rc = -1;
+  std::thread thread([&] { rc = server.run(); });
+  const std::uint16_t metrics_port = server.metrics_port();
+
+  // Off: batches served while disabled emit no spans.
+  EXPECT_NE(server::http_get(kLoopback, metrics_port, "/debug/trace?off")
+                .find("{\"tracing\": false}"),
+            std::string::npos);
+  server::BlockingClient client(kLoopback, server.port());
+  for (std::size_t i = 0; i < 32; ++i)
+    client.call(server::Opcode::kGet, 0, make_page(0, i));
+  EXPECT_EQ(writer.emitted(), 0u);
+
+  // On again: the very next batch lands in the trace.
+  EXPECT_NE(server::http_get(kLoopback, metrics_port, "/debug/trace?on")
+                .find("{\"tracing\": true}"),
+            std::string::npos);
+  client.call(server::Opcode::kGet, 0, make_page(0, 99));
+  EXPECT_GE(writer.emitted(), 1u);
+
+  // A bare /debug/trace reports without toggling.
+  EXPECT_NE(server::http_get(kLoopback, metrics_port, "/debug/trace")
+                .find("{\"tracing\": true}"),
+            std::string::npos);
+
+  server.request_stop();
+  thread.join();
+  EXPECT_EQ(rc, 0);
+}
+
 }  // namespace
 }  // namespace ccc
