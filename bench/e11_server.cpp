@@ -24,7 +24,13 @@
 ///
 /// --soak-seconds loops the trace until the deadline; connections agree on
 /// the loop count through a barrier, so the determinism check survives
-/// soaking. JSON rows land in the schema scripts/check_bench_regression.py
+/// soaking. --rebalance-every N exercises ShardedCache::rebalance() under
+/// live traffic: the trace is cut into N-request segments, every segment
+/// boundary is a double barrier (all responses read → one worker sends
+/// REBALANCE → traffic resumes), and the reference replay rebalances at
+/// the identical boundaries — so --verify still demands bit-identical
+/// books and a miss-cost ratio of exactly 1.0 across resizes and seqlock
+/// table rebuilds. JSON rows land in the schema scripts/check_bench_regression.py
 /// gates: (policy="server-cN", cost, tenants) keyed, with
 /// requests_per_second and wall_seconds.
 
@@ -138,7 +144,8 @@ server::StatsPayload stats_delta(const server::StatsPayload& pre,
 void write_json(const std::string& path, const Cli& cli,
                 std::uint32_t tenants, std::size_t shards,
                 std::size_t connections, std::uint64_t loops,
-                std::uint64_t requests_sent, double wall_seconds,
+                std::uint64_t rebalances, std::uint64_t requests_sent,
+                double wall_seconds,
                 const obs::HistogramSnapshot& latency,
                 const WorkerResult& totals, std::uint64_t lockfree_hits,
                 const VerifyResult& verify,
@@ -159,6 +166,8 @@ void write_json(const std::string& path, const Cli& cli,
   os << "    \"skew\": " << cli.get_double("skew") << ",\n";
   os << "    \"seed\": " << cli.get_u64("seed") << ",\n";
   os << "    \"soak_seconds\": " << cli.get_double("soak-seconds") << ",\n";
+  os << "    \"rebalance_every\": " << cli.get_u64("rebalance-every")
+     << ",\n";
   os << "    \"hitpath\": \"" << json_escape(cli.get("hitpath")) << "\",\n";
   os << "    \"connect\": \"" << json_escape(cli.get("connect")) << "\",\n";
   os << "    \"costs\": \"" << json_escape(cli.get("costs")) << "\"\n";
@@ -167,7 +176,8 @@ void write_json(const std::string& path, const Cli& cli,
   os << "    {\"policy\": \"server-c" << connections << "\", \"cost\": \""
      << json_escape(cli.get("costs")) << "\", \"tenants\": " << tenants
      << ", \"shards\": " << shards << ", \"connections\": " << connections
-     << ", \"loops\": " << loops << ", \"requests\": " << requests_sent
+     << ", \"loops\": " << loops << ", \"rebalances\": " << rebalances
+     << ", \"requests\": " << requests_sent
      << ", \"wall_seconds\": " << wall_seconds
      << ", \"requests_per_second\": "
      << (wall_seconds > 0.0
@@ -249,6 +259,13 @@ int run(int argc, const char* const* argv) {
       .flag("verify", "1",
             "assert zero drift vs a direct single-threaded access_batch "
             "replay (post-minus-pre STATS deltas)")
+      .flag("rebalance-every", "0",
+            "0 = never; N = after every N trace requests, quiesce all "
+            "connections at a barrier and have one worker send REBALANCE; "
+            "the verify reference rebalances at the same boundaries, so "
+            "the books must stay bit-identical (with --connect the server "
+            "must be freshly started: the split reads total books, which "
+            "pre-existing traffic would skew away from the reference)")
       .flag("json", "BENCH_server.json", "output JSON path (empty = none)");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -317,13 +334,28 @@ int run(int argc, const char* const* argv) {
   const auto capacity = static_cast<std::size_t>(pre.capacity);
 
   // ---- trace + by-shard connection partition (the determinism move) ----
+  // With --rebalance-every N the trace is additionally cut into segments
+  // of N requests *in trace order*: every connection finishes its share of
+  // segment s (and has read all its responses, so the server books sit
+  // exactly at the segment boundary) before anyone starts segment s+1.
   const Trace trace =
       make_trace(tenants, cli.get_u64("pages-per-tenant"),
                  cli.get_double("skew"), requests, cli.get_u64("seed"));
-  std::vector<std::vector<Request>> partition(connections);
-  for (const Request& request : trace.requests())
-    partition[shard_of_page(request.page, server_shards) % connections]
-        .push_back(request);
+  const auto rebalance_every =
+      static_cast<std::size_t>(cli.get_u64("rebalance-every"));
+  const std::size_t num_segments =
+      rebalance_every == 0
+          ? 1
+          : (trace.size() + rebalance_every - 1) / rebalance_every;
+  std::vector<std::vector<std::vector<Request>>> partition(
+      num_segments, std::vector<std::vector<Request>>(connections));
+  {
+    const std::vector<Request>& all = trace.requests();
+    for (std::size_t i = 0; i < all.size(); ++i)
+      partition[rebalance_every == 0 ? 0 : i / rebalance_every]
+               [shard_of_page(all[i].page, server_shards) % connections]
+          .push_back(all[i]);
+  }
 
   // ---- connect all workers up front (excluded from the timed section) ----
   std::vector<std::unique_ptr<server::BlockingClient>> clients;
@@ -336,7 +368,9 @@ int run(int argc, const char* const* argv) {
   std::vector<WorkerResult> results(connections);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> loops_done{0};
+  std::atomic<std::uint64_t> rebalances_sent{0};
   std::barrier loop_barrier(static_cast<std::ptrdiff_t>(connections));
+  std::barrier rebalance_barrier(static_cast<std::ptrdiff_t>(connections));
   const auto t0 = Clock::now();
   const auto deadline =
       t0 + std::chrono::duration_cast<Clock::duration>(
@@ -348,28 +382,47 @@ int run(int argc, const char* const* argv) {
     workers.emplace_back([&, c] {
       WorkerResult& result = results[c];
       server::BlockingClient& client = *clients[c];
-      const std::vector<Request>& mine = partition[c];
       try {
         for (std::uint64_t loop = 0;; ++loop) {
-          std::size_t i = 0;
-          while (i < mine.size()) {
-            const std::size_t n = std::min(window, mine.size() - i);
-            for (std::size_t j = 0; j < n; ++j)
-              client.enqueue_get(mine[i + j].tenant, mine[i + j].page);
-            const auto flushed = Clock::now();
-            client.flush();
-            client.read_responses(n, [&](const server::ResponseMsg& msg) {
-              latency_hist.record(static_cast<std::uint64_t>(
-                  std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      Clock::now() - flushed)
-                      .count()));
-              switch (static_cast<server::Status>(msg.status)) {
-                case server::Status::kHit: ++result.hits; break;
-                case server::Status::kMiss: ++result.misses; break;
-                default: ++result.errors; break;
+          for (std::size_t seg = 0; seg < partition.size(); ++seg) {
+            const std::vector<Request>& mine = partition[seg][c];
+            std::size_t i = 0;
+            while (i < mine.size()) {
+              const std::size_t n = std::min(window, mine.size() - i);
+              for (std::size_t j = 0; j < n; ++j)
+                client.enqueue_get(mine[i + j].tenant, mine[i + j].page);
+              const auto flushed = Clock::now();
+              client.flush();
+              client.read_responses(n, [&](const server::ResponseMsg& msg) {
+                latency_hist.record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - flushed)
+                        .count()));
+                switch (static_cast<server::Status>(msg.status)) {
+                  case server::Status::kHit: ++result.hits; break;
+                  case server::Status::kMiss: ++result.misses; break;
+                  default: ++result.errors; break;
+                }
+              });
+              i += n;
+            }
+            if (rebalance_every != 0) {
+              // Double barrier around the split: the first waits until
+              // every connection has *read all its responses* for this
+              // segment — the server has answered, hence applied, every
+              // segment request, so its books sit exactly at the boundary.
+              // Worker 0 then triggers the rebalance while everyone else
+              // is quiescent (no in-flight traffic for the resize to
+              // interleave with), and the second barrier releases the
+              // next segment. REBALANCE fires after every segment, the
+              // last included — the reference replay mirrors that.
+              rebalance_barrier.arrive_and_wait();
+              if (c == 0) {
+                client.rebalance();
+                rebalances_sent.fetch_add(1);
               }
-            });
-            i += n;
+              rebalance_barrier.arrive_and_wait();
+            }
           }
           // Everyone finishes loop L, then worker 0 decides whether L+1
           // happens — so every connection replays the same loop count and
@@ -429,14 +482,28 @@ int run(int argc, const char* const* argv) {
     ShardedCache reference(ref_options, nullptr, &costs);
     std::vector<StepEvent> events;
     constexpr std::size_t kRefBatch = 1024;
+    const std::vector<Request>& all = trace.requests();
     for (std::uint64_t loop = 0; loop < loops; ++loop) {
-      const std::vector<Request>& all = trace.requests();
-      for (std::size_t i = 0; i < all.size(); i += kRefBatch) {
-        events.clear();
-        reference.access_batch(
-            std::span<const Request>(all.data() + i,
-                                     std::min(kRefBatch, all.size() - i)),
-            events);
+      for (std::size_t seg = 0; seg < num_segments; ++seg) {
+        const std::size_t begin =
+            rebalance_every == 0 ? 0 : seg * rebalance_every;
+        const std::size_t end =
+            rebalance_every == 0
+                ? all.size()
+                : std::min(all.size(), begin + rebalance_every);
+        for (std::size_t i = begin; i < end; i += kRefBatch) {
+          events.clear();
+          reference.access_batch(
+              std::span<const Request>(all.data() + i,
+                                       std::min(kRefBatch, end - i)),
+              events);
+        }
+        // Mirror the live run: a rebalance after every segment, the last
+        // included. The default hook's split depends only on per-shard
+        // miss books, which are bit-identical to the server's at this
+        // boundary — so both sides compute the same split and the
+        // resize-driven evictions match exactly.
+        if (rebalance_every != 0) reference.rebalance();
       }
     }
     const Metrics ref_metrics = reference.aggregated_metrics();
@@ -516,6 +583,7 @@ int run(int argc, const char* const* argv) {
             static_cast<double>(latency.quantile(0.999)) / 1e3, hit_rate);
   std::cout << table.to_ascii() << "\n";
   std::cout << "requests=" << requests_sent << " loops=" << loops
+            << " rebalances=" << rebalances_sent.load()
             << " wall=" << format_double(wall_seconds, 3) << "s hits="
             << totals.hits << " misses=" << totals.misses
             << " lockfree_hits=" << delta.lockfree_hits << "\n";
@@ -541,13 +609,22 @@ int run(int argc, const char* const* argv) {
   const std::string json_path = cli.get("json");
   if (!json_path.empty())
     write_json(json_path, cli, tenants, server_shards, connections, loops,
-               requests_sent, wall_seconds, latency, totals,
-               delta.lockfree_hits, verify, stages);
+               rebalances_sent.load(), requests_sent, wall_seconds, latency,
+               totals, delta.lockfree_hits, verify, stages);
 
   if (verify.ran && verify.drift != 0) {
     std::cerr << "e11_server: DRIFT — server books diverge from the direct "
                  "replay by "
               << verify.drift << "\n";
+    return 1;
+  }
+  if (verify.ran && verify.cost_ratio != 1.0) {
+    // Zero drift already implies this (both sides apply the same f_i to
+    // the same integer books), so a failure here means the cost plumbing
+    // itself diverged — worth its own message.
+    std::cerr << "e11_server: COST DRIFT — server/reference miss-cost "
+                 "ratio is "
+              << format_double(verify.cost_ratio, 6) << ", want exactly 1\n";
     return 1;
   }
   if (verify.ran && verify.tracker_mismatches != 0) {

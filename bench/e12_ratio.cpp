@@ -152,11 +152,15 @@ int run(int argc, const char* const* argv) {
     // would itself be a bug worth failing on. The bound check carries an
     // additive warm-up allowance: the dual bank is blind to each tenant's
     // compulsory first miss (OPT pays it too), so on traces that saturate
-    // the cap — the adversary does, within a fraction of a percent — ALG
-    // may exceed bound·LB by at most bound·Σ_i f_i(1).
+    // the cap ALG may exceed bound·LB by at most bound·Σ_i f_i(1) — but
+    // only tenants that actually *missed* earned their f_i(1) term. A
+    // flat Σ over all tenants would hand a tenant that never missed a
+    // slack budget another tenant's certified-ratio violation could hide
+    // under.
     double warmup = 0.0;
     for (std::size_t t = 0; t < tenants; ++t)
-      warmup += monomials(1, row.beta)[0]->value(1.0);
+      if (t < row.snap.tenant_cost.size() && row.snap.tenant_cost[t] > 0.0)
+        warmup += monomials(1, row.beta)[0]->value(1.0);
     row.holds = row.snap.certified &&
                 (row.snap.competitive_ratio == 0.0 ||
                  row.snap.cost_total <=

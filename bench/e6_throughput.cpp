@@ -29,16 +29,20 @@
 /// the optimistic path must buy speed, never different decisions.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/convex_caching.hpp"
 #include "cost/monomial.hpp"
 #include "cost/piecewise_linear.hpp"
 #include "exp/policy_factory.hpp"
@@ -57,8 +61,65 @@
 #include "obs/registry.hpp"
 #include "obs/trace_event.hpp"
 
+// ----------------------------------------------------------------------
+// Counting operator new/delete replacements (whole-binary, this TU only
+// links into e6). The --alloc-stats probe snapshots the counter around a
+// steady-state replay to assert the eviction path performs zero heap
+// allocations per request once the arena-backed index has plateaued. The
+// relaxed increment costs ~1ns per *allocation* — and the claim under
+// test is precisely that steady-state cells allocate nothing, so the
+// hook cannot skew the throughput numbers it rides along with.
+// ----------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+// Deletes must pair with the malloc-family allocators above (the default
+// ones are not guaranteed to be free()-compatible).
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace ccc {
 namespace {
+
+std::uint64_t heap_alloc_count() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
 
 Trace make_trace(std::uint32_t tenants, std::uint64_t pages_per_tenant,
                  double skew, std::size_t length, std::uint64_t seed) {
@@ -108,6 +169,12 @@ struct BenchRow {
   PerfCounters perf;          // best (min wall-clock) repeat
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  // --alloc-stats probe rows only (no requests_per_second, so the CI
+  // regression gate skips them automatically).
+  bool alloc_probe = false;
+  std::uint64_t steady_allocs = 0;     // operator new calls, measured half
+  std::uint64_t steady_evictions = 0;  // evictions in the measured half
+  std::uint64_t steady_requests = 0;   // requests in the measured half
 };
 
 [[nodiscard]] bool is_sharded_policy(const std::string& name) {
@@ -143,6 +210,13 @@ void write_json(const std::string& path, const Cli& cli,
     if (r.skipped) {
       os << ", \"skipped\": true, \"reason\": \"" << json_escape(r.skip_reason)
          << "\"}";
+    } else if (r.alloc_probe) {
+      // Deliberately no requests_per_second: probe rows measure heap
+      // traffic, not throughput, and must stay out of the perf gate.
+      os << ", \"skipped\": false, \"alloc_probe\": true"
+         << ", \"steady_state_allocs\": " << r.steady_allocs
+         << ", \"evictions_measured\": " << r.steady_evictions
+         << ", \"requests_measured\": " << r.steady_requests << "}";
     } else {
       os << ", \"skipped\": false"
          << ", \"requests\": " << r.perf.requests
@@ -289,6 +363,45 @@ void measure_sharded(BenchRow& row, const Trace& trace, std::size_t capacity,
   }
 }
 
+/// The --alloc-stats probe: replays the first half of the trace through
+/// one ALG-DISCRETE session (warm-up — the residency map reaches its
+/// final size and the arena behind the eviction index plateaus), then
+/// counts operator new calls over the second half. With the bump-pointer
+/// arena backing the lazy index's heap storage, a steady-state eviction
+/// performs zero heap allocations; in Release builds a nonzero count
+/// fails the benchmark (the CI allocation gate).
+BenchRow run_alloc_probe(const Trace& trace, std::size_t capacity,
+                         const std::vector<CostFunctionPtr>& costs,
+                         const std::string& family, std::uint32_t tenants) {
+  BenchRow row;
+  row.policy = "convex-alloc-probe";
+  row.cost_family = family;
+  row.tenants = tenants;
+  row.capacity = capacity;
+  row.alloc_probe = true;
+
+  ConvexCachingPolicy policy;
+  SimulatorSession session(capacity, tenants, policy, &costs);
+  const std::span<const Request> requests(trace.requests());
+  const std::size_t half = requests.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) (void)session.step(requests[i]);
+
+  const std::uint64_t allocs_before = heap_alloc_count();
+  const std::uint64_t evictions_before = session.perf_counters().evictions;
+  for (std::size_t i = half; i < requests.size(); ++i)
+    (void)session.step(requests[i]);
+  row.steady_allocs = heap_alloc_count() - allocs_before;
+  row.steady_evictions =
+      session.perf_counters().evictions - evictions_before;
+  row.steady_requests = requests.size() - half;
+
+  std::cout << "alloc-probe n=" << tenants << " cost=" << family << ": "
+            << row.steady_allocs << " heap allocations over "
+            << row.steady_requests << " steady-state requests ("
+            << row.steady_evictions << " evictions)\n";
+  return row;
+}
+
 /// The sharded cells' zero-drift gate: every (cost, tenants) pair measured
 /// on both hit paths must have produced identical books. A divergence means
 /// the optimistic path served a stale hit — a correctness bug, so the
@@ -355,6 +468,16 @@ int run(int argc, const char* const* argv) {
       .flag("obs-cadence", "8",
             "observed rows: time every Nth step (1 = every step; higher "
             "values shrink the observation overhead)")
+      .flag("alloc-stats", "0",
+            "1 = add one allocation-probe row per (cost, tenants) cell: "
+            "warm a convex session on the first half of the trace, count "
+            "operator new calls over the second half; Release builds fail "
+            "on a nonzero steady-state count (the CI allocation gate)")
+      .flag("expect-lockfree-frac", "0",
+            "fail unless every sharded-seqlock cell served at least this "
+            "fraction of its requests lock-free (0 = no check); the CI "
+            "eviction-pressure cell uses this to pin the per-tenant-epoch "
+            "freshness win")
       .flag("json", "BENCH_throughput.json",
             "output JSON path (empty = no JSON)");
   if (!cli.parse(argc, argv)) return 0;
@@ -403,6 +526,9 @@ int run(int argc, const char* const* argv) {
                                    cli.get_u64("seed"));
     for (const std::string& family : families) {
       const auto costs = make_costs(family, tenants);
+      if (cli.get_bool("alloc-stats"))
+        rows.push_back(
+            run_alloc_probe(trace, capacity, costs, family, tenants));
       for (const std::string& policy_name : policies) {
         BenchRow row;
         row.policy = policy_name;
@@ -487,6 +613,46 @@ int run(int argc, const char* const* argv) {
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) write_json(json_path, cli, rows);
   if (observe && !json_path.empty()) write_obs_outputs(obs_registry, json_path);
+
+  // CI assertions last, after the JSON landed (a failing gate should
+  // still leave the numbers on disk for diagnosis).
+  const double expect_lockfree = cli.get_double("expect-lockfree-frac");
+  if (expect_lockfree > 0.0) {
+    bool any = false;
+    for (const BenchRow& row : rows) {
+      if (row.policy != "sharded-seqlock" || row.skipped) continue;
+      any = true;
+      const double frac =
+          row.perf.requests == 0
+              ? 0.0
+              : static_cast<double>(row.perf.lockfree_hits) /
+                    static_cast<double>(row.perf.requests);
+      std::cout << "lockfree fraction n=" << row.tenants
+                << " cost=" << row.cost_family << ": " << frac << "\n";
+      if (frac < expect_lockfree)
+        throw std::runtime_error(
+            "sharded-seqlock cell cost=" + row.cost_family + " n=" +
+            std::to_string(row.tenants) + " served only " +
+            std::to_string(frac) + " of requests lock-free (< " +
+            std::to_string(expect_lockfree) + ")");
+    }
+    if (!any)
+      throw std::runtime_error(
+          "--expect-lockfree-frac set but no sharded-seqlock cell ran");
+  }
+  if (cli.get_bool("alloc-stats")) {
+    for (const BenchRow& row : rows) {
+      if (!row.alloc_probe) continue;
+#ifdef NDEBUG
+      if (row.steady_allocs != 0)
+        throw std::runtime_error(
+            "allocation gate: cost=" + row.cost_family + " n=" +
+            std::to_string(row.tenants) + " performed " +
+            std::to_string(row.steady_allocs) +
+            " heap allocations at steady state (expected 0)");
+#endif
+    }
+  }
   return 0;
 }
 

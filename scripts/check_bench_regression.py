@@ -5,6 +5,10 @@ Compares the requests_per_second of each (policy, cost, tenants) cell in
 one or more fresh BENCH_*.json files against the committed baseline and
 fails when any cell drops by more than the tolerance (default 25%, see
 bench/baselines/README.md for why the bar is that wide on shared runners).
+The gate is one-sided — improvements never fail — but a cell running at
+more than 2x its committed number is flagged as a stale baseline (console
+warning + a dedicated step-summary section, still exit 0): an undersized
+baseline silently widens the band a later regression can hide in.
 
 `--current` may be repeated: the bench-smoke job measures the
 eviction-pressure cells and the hit-path serving cells in separate
@@ -49,6 +53,11 @@ import argparse
 import json
 import os
 import sys
+
+
+# A current cell at more than this multiple of its committed baseline
+# marks the baseline stale: reported (step summary + stderr), never fatal.
+STALE_BASELINE_RATIO = 2.0
 
 
 def row_key(row):
@@ -181,6 +190,7 @@ def main():
 
     current_all = dict(current)  # the gate loop pops; latency table needs all
     failures = []
+    stale = []
     summary = [
         "### Throughput regression gate",
         "",
@@ -221,6 +231,14 @@ def main():
             )
             flag = "  << REGRESSION"
             verdict = f"❌ −{(1.0 - ratio) * 100:.1f}%"
+        elif ratio > STALE_BASELINE_RATIO:
+            # The gate is one-sided by design (improvements never fail),
+            # but a cell running at >2x its committed number means the
+            # baseline no longer describes this runner/build and the
+            # effective tolerance band has silently widened. Surface it.
+            stale.append((label, base_rps, cur_rps, ratio))
+            flag = "  << STALE BASELINE"
+            verdict = f"⚠️ +{(ratio - 1.0) * 100:.0f}% (stale baseline)"
         print(f"{label:<44} {base_rps:>12.0f} {cur_rps:>12.0f} "
               f"{ratio:>7.2f}{flag}")
         summary.append(f"| `{label}` | {base_rps:,.0f} | {cur_rps:,.0f} "
@@ -234,6 +252,29 @@ def main():
         print(f"{label:<44} {'(no baseline)':>12} {cur_rps:>12.0f} {'-':>7}")
         summary.append(
             f"| `{label}` | — | {cur_rps:,.0f} | — | ⚠️ not in baseline |")
+
+    if stale:
+        summary.extend([
+            "",
+            "### ⚠️ Stale baseline cells (informational — gate still "
+            "one-sided)",
+            "",
+            "These cells ran at more than "
+            f"{STALE_BASELINE_RATIO:.0f}x their committed baseline. The "
+            "gate only catches *drops*, so an undersized baseline quietly "
+            "widens the band a future regression can hide in — refresh "
+            "`bench/baselines/` from a clean run of this runner class.",
+            "",
+            "| cell | baseline req/s | current req/s | ratio |",
+            "| --- | ---: | ---: | ---: |",
+        ])
+        for label, base_rps, cur_rps, ratio in stale:
+            summary.append(f"| `{label}` | {base_rps:,.0f} "
+                           f"| {cur_rps:,.0f} | {ratio:.2f} |")
+        print(f"\nwarning: {len(stale)} cell(s) ran at >"
+              f"{STALE_BASELINE_RATIO:.0f}x their committed baseline — "
+              f"refresh bench/baselines/ (gate unaffected)",
+              file=sys.stderr)
 
     summary.extend(latency_summary(baseline, current_all))
 

@@ -70,8 +70,9 @@ struct SeqlockCheckResult {
 template <SeqlockConfig Config>
 class SeqlockModelHarness {
  public:
-  explicit SeqlockModelHarness(std::size_t table_size = 16) {
-    table_.allocate(table_size);
+  explicit SeqlockModelHarness(std::size_t table_size = 16,
+                               std::uint32_t num_tenants = 2) {
+    table_.allocate(table_size, num_tenants);
     // Initial truth: empty cache, timestamped before every real store.
     truth_.push_back(Snapshot{0, {}});
   }
@@ -79,10 +80,13 @@ class SeqlockModelHarness {
   // ---- writer script (record mode; ops mirror ShardedCache's use) ---- //
 
   /// Miss into free space (ShardedCache::apply_event_seqlock, no victim).
-  void fill(std::uint64_t page) {
+  /// `tenant` is recorded as the page's owner for the rest of the script
+  /// (the production pairing contract: pages are tenant-owned).
+  void fill(std::uint64_t page, std::uint32_t tenant = 0) {
     begin_op([&](Snapshot& s) { s.state[page] = PageTruth::kFresh; });
+    owner_[page] = tenant;
     const ScopedModelContext scope(ctx_);
-    table_.publish_insert(page);
+    table_.publish_insert(page, tenant);
   }
 
   /// Locked hit (stamp refresh).
@@ -92,19 +96,33 @@ class SeqlockModelHarness {
       s.state[page] = PageTruth::kFresh;
     });
     const ScopedModelContext scope(ctx_);
-    (void)table_.restamp_hit(page);
+    (void)table_.restamp_hit(page, owner_of(page));
   }
 
-  /// Miss with eviction: victim leaves, every survivor's budget is
-  /// debited (freshness lost), the fetched page arrives fresh.
-  void evict(std::uint64_t victim, std::uint64_t page) {
+  /// Miss with eviction. Ghost truth mirrors the per-tenant freshness
+  /// criterion exactly: if the eviction moved the shared survivor-debit
+  /// offset, *every* survivor's re-freeze value changed (all go stale);
+  /// otherwise if it re-based the victim tenant's budgets, only that
+  /// tenant's survivors go stale; otherwise (zero-budget victim, flat
+  /// marginal — the generational steady state) nothing stales at all.
+  /// The fetched page always arrives fresh.
+  void evict(std::uint64_t victim, std::uint64_t page,
+             std::uint32_t page_tenant = 0, bool offset_moved = true,
+             bool victim_refreshed = true) {
     begin_op([&](Snapshot& s) {
       CCC_CHECK(s.state.erase(victim) == 1, "evicting a non-resident page");
-      for (auto& [p, truth] : s.state) truth = PageTruth::kStale;
+      for (auto& [p, truth] : s.state) {
+        if (offset_moved ||
+            (victim_refreshed && owner_of(p) == owner_of(victim)))
+          truth = PageTruth::kStale;
+      }
       s.state[page] = PageTruth::kFresh;
     });
+    const std::uint32_t victim_tenant = owner_of(victim);
+    owner_[page] = page_tenant;
     const ScopedModelContext scope(ctx_);
-    table_.evict_and_insert(victim, page);
+    table_.evict_and_insert(victim, page, page_tenant, victim_tenant,
+                            offset_moved, victim_refreshed);
   }
 
   /// Rebalance-style structural rebuild: the surviving resident set is
@@ -139,7 +157,7 @@ class SeqlockModelHarness {
       // context keeps the store histories; only reader state resets).
       ctx_.begin_exploration();
       while (ctx_.next_execution()) {
-        const bool hit = table_.try_fresh_hit(page);
+        const bool hit = table_.try_fresh_hit(page, owner_of(page));
         ++result.executions;
         if (!hit) continue;
         ++result.hits_served;
@@ -188,6 +206,13 @@ class SeqlockModelHarness {
     return false;
   }
 
+  /// The page's recorded owner (production pairing contract: one tenant
+  /// per page, forever). Pages a script never introduced default to 0.
+  [[nodiscard]] std::uint32_t owner_of(std::uint64_t page) const {
+    const auto it = owner_.find(page);
+    return it == owner_.end() ? 0u : it->second;
+  }
+
   ModelContext ctx_;
   // Installed for the harness's whole lifetime and declared BEFORE the
   // table: the table's Atomic members register themselves with the
@@ -197,6 +222,7 @@ class SeqlockModelHarness {
   ScopedModelContext scope_{ctx_};
   SeqlockResidencyTable<CheckedAtomics, Config> table_;
   std::vector<Snapshot> truth_;
+  std::map<std::uint64_t, std::uint32_t> owner_;
 };
 
 }  // namespace ccc::interleave

@@ -38,11 +38,18 @@ void ConvexCachingPolicy::reset(const PolicyContext& ctx) {
   heaps_.assign(
       options_.index == VictimIndex::kTenantScan ? ctx.num_tenants : 0,
       MinHeap{});
-  global_ = GlobalHeap{};
+  // Drop the old postings *before* rewinding their arena (their storage
+  // dangles the moment the arena resets), then recycle the blocks.
+  global_ = empty_heap();
+  index_arena_.reset();
   pages_.clear();
   pages_.reserve(ctx.capacity);
   tenant_pages_.clear();
+  registry_arena_.reset();
   track_tenant_pages_ = false;
+  marginal_scratch_.assign(ctx.num_tenants, 0.0);
+  last_evict_moved_offset_ = false;
+  last_evict_refreshed_tenant_ = false;
   current_window_ = 0;
   counters_ = PerfCounters{};
 }
@@ -55,7 +62,14 @@ void ConvexCachingPolicy::rebuild_index() {
       heaps_[state.tenant].push(HeapEntry{state.key, page});
     return;
   }
-  std::vector<IndexEntry> entries;
+  // Compaction boundary = arena epoch boundary: destroy the old postings,
+  // rewind the arena, and build the replacement out of the recycled blocks.
+  // After the first few cycles the block set plateaus at the heap's
+  // high-water footprint and this path never touches the global heap
+  // allocator again.
+  global_ = empty_heap();
+  index_arena_.reset();
+  IndexVector entries(index_alloc());
   entries.reserve(pages_.size());
   for (const auto& [page, state] : pages_)
     entries.push_back(IndexEntry{state.key + tenant_bump_[state.tenant],
@@ -74,11 +88,24 @@ void ConvexCachingPolicy::maybe_roll_window(TimeStep time) {
   std::fill(evictions_.begin(), evictions_.end(), 0);
   std::fill(tenant_bump_.begin(), tenant_bump_.end(), 0.0);
   offset_ = 0.0;
-  // FlatMap iterators yield reference proxies, so bind the proxy by value;
-  // `state` is still a live reference into the table.
-  for (auto [page, state] : pages_) {
-    (void)page;
-    state.key = next_marginal(state.tenant);
+  // Re-base every resident budget. The per-tenant marginals (virtual
+  // calls) are hoisted into a dense table so the page pass is a flat,
+  // branchless select over the residency table's SoA slot arrays —
+  // autovectorizable, unlike a proxy-iterator loop with an indirect call
+  // per resident page.
+  for (TenantId t = 0; t < marginal_scratch_.size(); ++t)
+    marginal_scratch_[t] = next_marginal(t);
+  const double* marginal = marginal_scratch_.data();
+  const std::uint64_t* keys = pages_.key_data();
+  PageState* vals = pages_.value_data();
+  const std::size_t slots =
+      marginal_scratch_.empty() ? 0 : pages_.slot_count();
+  for (std::size_t i = 0; i < slots; ++i) {
+    // Dead slots select index 0 and write their own key back, keeping the
+    // loop body branch-free (a dead slot's tenant field may be stale).
+    const bool live = keys[i] != util::FlatMap<PageState>::kEmptyKey;
+    const std::size_t t = live ? vals[i].tenant : 0;
+    vals[i].key = live ? marginal[t] : vals[i].key;
   }
   rebuild_index();
 }
@@ -109,7 +136,7 @@ void ConvexCachingPolicy::set_budget(PageId page, TenantId tenant) {
     return;
   }
   push_global(page, tenant, key);
-  if (track_tenant_pages_) tenant_pages_[tenant].insert(page);
+  if (track_tenant_pages_) tenant_pages_[tenant].insert_or_assign(page, 1);
   maybe_compact();
 }
 
@@ -204,14 +231,23 @@ PageId ConvexCachingPolicy::choose_victim(const Request& /*request*/,
 
 void ConvexCachingPolicy::repost_tenant(TenantId owner) {
   if (!track_tenant_pages_) {
-    // First non-convex bump decrease of the run: materialize the registry.
-    tenant_pages_.assign(tenant_bump_.size(), {});
+    // First non-convex bump decrease of the run: materialize the registry
+    // (arena-backed sets — never default-construct a PageSet, that would
+    // silently fall back to the heap allocator).
+    tenant_pages_.clear();
+    tenant_pages_.reserve(tenant_bump_.size());
+    for (std::size_t t = 0; t < tenant_bump_.size(); ++t)
+      tenant_pages_.emplace_back(
+          util::ArenaAllocator<std::uint8_t>(&registry_arena_));
     for (const auto& [page, state] : pages_)
-      tenant_pages_[state.tenant].insert(page);
+      tenant_pages_[state.tenant].insert_or_assign(page, 1);
     track_tenant_pages_ = true;
   }
-  for (const PageId page : tenant_pages_[owner])
+  // PageSet iterators yield reference proxies; bind by value.
+  for (const auto [page, mark] : tenant_pages_[owner]) {
+    (void)mark;
     push_global(page, owner, pages_.at(page).key);
+  }
   maybe_compact();
 }
 
@@ -228,16 +264,30 @@ void ConvexCachingPolicy::on_evict(PageId victim, TenantId owner,
   pages_.erase(it);
   if (track_tenant_pages_) tenant_pages_[owner].erase(victim);
 
-  // Fig. 3: debit every surviving page by B(p) — one offset update.
-  if (options_.debit_survivors) offset_ += victim_budget;
+  // Fig. 3: debit every surviving page by B(p) — one offset update. A
+  // zero victim budget leaves the offset bit-identical, so survivors'
+  // keys still re-freeze to the same value: report it as a no-move so the
+  // seqlock mirror keeps every other tenant's stamps fresh.
+  last_evict_moved_offset_ = false;
+  if (options_.debit_survivors) {
+    offset_ += victim_budget;
+    last_evict_moved_offset_ = victim_budget != 0.0;
+  }
 
   // The victim's tenant just incurred a miss: m(owner) grows, and the
   // marginal of its *next* miss moves from f'(m+1) to f'(m+2).
   const std::uint64_t m_before = evictions_[owner]++;
+  const CostFunction& f = *(*costs_)[owner];
+  const double delta = marginal_at(f, m_before + 1, options_.derivative) -
+                       marginal_at(f, m_before, options_.derivative);
+  // The owner's re-freeze inputs moved iff its next-marginal value did:
+  // with a zero delta both the marginal and the bump (when enabled) are
+  // bit-identical to before, so the owner's keys still re-freeze exactly
+  // (linear costs hit this on every eviction). With a nonzero delta the
+  // algebraic cancellation (marginal+δ) − (bump+δ) is not FP-bit-exact,
+  // so the owner's stamps must go stale.
+  last_evict_refreshed_tenant_ = delta != 0.0;
   if (options_.bump_victim_tenant) {
-    const CostFunction& f = *(*costs_)[owner];
-    const double delta = marginal_at(f, m_before + 1, options_.derivative) -
-                         marginal_at(f, m_before, options_.derivative);
     tenant_bump_[owner] += delta;
     // Convex costs only grow the bump, which the global index absorbs
     // lazily; a shrinking bump (§2.5 non-convex costs) makes existing

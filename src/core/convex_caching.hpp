@@ -47,10 +47,10 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/policy.hpp"
+#include "util/arena.hpp"
 #include "util/flat_map.hpp"
 
 namespace ccc {
@@ -152,6 +152,26 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
     return options_;
   }
 
+  // -- per-tenant freshness signals (seqlock residency mirror) --------------
+  //
+  // ShardedCache's lock-free hit path serves a hit without the mutex only
+  // when re-freezing the page's budget would store a bit-identical key
+  // (seqlock_table.hpp). The two signals below report, for the most recent
+  // on_evict, which freshness classes that eviction actually invalidated:
+
+  /// The last eviction shifted the shared survivor-debit offset (victim
+  /// budget ≠ 0 with debiting on) — every tenant's re-freeze value moved.
+  [[nodiscard]] bool last_evict_moved_offset() const noexcept {
+    return last_evict_moved_offset_;
+  }
+  /// The last eviction moved the victim tenant's next-marginal value
+  /// (delta ≠ 0) — only that tenant's re-freeze values moved. Zero-budget,
+  /// zero-delta evictions (generational steady state under linear costs)
+  /// report false on both signals and stale nothing.
+  [[nodiscard]] bool last_evict_refreshed_tenant() const noexcept {
+    return last_evict_refreshed_tenant_;
+  }
+
  private:
   /// The `src/audit` shadow-checker reads the index internals (postings,
   /// offsets, bumps) to verify them against naive recomputation; the test
@@ -206,8 +226,23 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
       return a.page > b.page;
     }
   };
-  using GlobalHeap = std::priority_queue<IndexEntry, std::vector<IndexEntry>,
-                                         std::greater<IndexEntry>>;
+  /// Postings live in a bump-pointer arena: pushes and compaction rebuilds
+  /// recycle the arena's retained blocks instead of hitting the heap, so
+  /// the steady-state eviction path performs zero allocations (the e6
+  /// `--alloc-stats` CI gate asserts exactly this).
+  using IndexAlloc = util::ArenaAllocator<IndexEntry>;
+  using IndexVector = std::vector<IndexEntry, IndexAlloc>;
+  using GlobalHeap =
+      std::priority_queue<IndexEntry, IndexVector, std::greater<IndexEntry>>;
+
+  [[nodiscard]] IndexAlloc index_alloc() noexcept {
+    return IndexAlloc(&index_arena_);
+  }
+  /// An empty arena-backed heap (never default-construct GlobalHeap — that
+  /// would silently fall back to the global heap allocator).
+  [[nodiscard]] GlobalHeap empty_heap() {
+    return GlobalHeap(std::greater<IndexEntry>{}, IndexVector(index_alloc()));
+  }
 
   void push_global(PageId page, TenantId tenant, double key);
 
@@ -239,17 +274,33 @@ class ConvexCachingPolicy final : public ReplacementPolicy {
     TenantId tenant;
   };
 
+  /// Arena-backed open-addressing set used as the per-tenant page registry
+  /// (insert/erase are rehash-amortized into the arena, so the non-convex
+  /// repost path also stays allocation-free at steady state).
+  using PageSet =
+      util::FlatMap<std::uint8_t, util::ArenaAllocator<std::uint8_t>>;
+
   double offset_ = 0.0;                  ///< cumulative global debit
   std::vector<double> tenant_bump_;      ///< cumulative per-tenant bumps
   std::vector<std::uint64_t> evictions_; ///< m(i, t)
   std::vector<double> dual_mass_;        ///< Σ B(victim) per victim owner
   std::vector<MinHeap> heaps_;           ///< scan mode: one heap per tenant
-  GlobalHeap global_;                    ///< heap mode: one heap, all tenants
+  // Declaration order matters: the arenas must outlive (so: precede) every
+  // container whose allocator points into them.
+  util::Arena index_arena_;     ///< backs the global heap's postings
+  util::Arena registry_arena_;  ///< backs the tenant_pages_ sets
+  /// Heap mode: one heap, all tenants (arena-backed — see IndexVector).
+  GlobalHeap global_{std::greater<IndexEntry>{},
+                     IndexVector(IndexAlloc(&index_arena_))};
   util::FlatMap<PageState> pages_;       ///< resident pages (flat, SoA)
   /// Resident pages per tenant; only maintained once a bump has decreased
   /// (possible only for non-convex costs), empty and untouched otherwise.
-  std::vector<std::unordered_set<PageId>> tenant_pages_;
+  std::vector<PageSet> tenant_pages_;
   bool track_tenant_pages_ = false;
+  /// Scratch for the windowed re-base (hoisted per-tenant marginals).
+  std::vector<double> marginal_scratch_;
+  bool last_evict_moved_offset_ = false;
+  bool last_evict_refreshed_tenant_ = false;
   std::size_t current_window_ = 0;
   PerfCounters counters_;
 };

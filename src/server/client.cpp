@@ -79,6 +79,10 @@ void BlockingClient::enqueue_stats() {
   append_request(out_, Opcode::kStats, 0, 0);
 }
 
+void BlockingClient::enqueue_rebalance() {
+  append_request(out_, Opcode::kRebalance, 0, 0);
+}
+
 void BlockingClient::append_raw(std::string_view bytes) { out_ += bytes; }
 
 void BlockingClient::flush() {
@@ -137,6 +141,13 @@ StatsPayload BlockingClient::stats() {
       !payload.has_value())
     throw std::runtime_error("bad STATS response");
   return std::move(*payload);
+}
+
+void BlockingClient::rebalance() {
+  const std::uint8_t status = call(Opcode::kRebalance, 0, 0);
+  if (status != static_cast<std::uint8_t>(Status::kOk))
+    throw std::runtime_error("bad REBALANCE response: status " +
+                             std::to_string(status));
 }
 
 void BlockingClient::shutdown_write() {

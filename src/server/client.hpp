@@ -39,6 +39,7 @@ class BlockingClient {
   void enqueue_get(TenantId tenant, PageId page);
   void enqueue_set(TenantId tenant, PageId page);
   void enqueue_stats();
+  void enqueue_rebalance();
   /// Appends raw bytes to the outbox verbatim (tests: malformed frames).
   void append_raw(std::string_view bytes);
   [[nodiscard]] std::size_t outbox_bytes() const noexcept {
@@ -62,6 +63,11 @@ class BlockingClient {
   std::uint8_t call(Opcode opcode, TenantId tenant, PageId page);
   /// STATS round-trip; throws if the payload does not parse.
   StatsPayload stats();
+  /// REBALANCE round-trip; throws unless the server answers kOk. Returns
+  /// only after the server has applied the new capacity split, so the
+  /// caller can treat it as a synchronization point (e11's segment
+  /// boundaries rely on that).
+  void rebalance();
 
   /// Half-close: no more requests, but responses still flow — how a
   /// well-behaved client signals "done" before draining its tail.

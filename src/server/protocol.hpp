@@ -9,12 +9,13 @@
 ///   u32 length     — bytes that FOLLOW this field (prefix + body)
 ///   u32 magic      = kMagic ("CCP1")
 ///   u8  version    = kVersion
-///   u8  code       — request: opcode (GET/SET/STATS); response: status
+///   u8  code       — request: opcode (GET/SET/STATS/REBALANCE); response:
+///                    status
 ///   u16 reserved   = 0
 ///   ... body ...
 ///
-/// Request body (12 bytes): u32 tenant, u64 page. STATS carries the same
-/// body with both fields zero, so every v1 request frame is exactly
+/// Request body (12 bytes): u32 tenant, u64 page. STATS and REBALANCE carry
+/// the same body with both fields zero, so every v1 request frame is exactly
 /// kRequestFrameBytes long and the decoder can reject any other length as
 /// malformed before buffering a single body byte.
 ///
@@ -63,6 +64,12 @@ enum class Opcode : std::uint8_t {
   kGet = 1,    ///< access the page; response status reports hit or miss
   kSet = 2,    ///< ensure the page is resident; response status is kOk
   kStats = 3,  ///< fetch the per-tenant books; response carries StatsPayload
+  /// Recompute the capacity split from live shard stats and apply it
+  /// (ShardedCache::rebalance). Runs after the connection's pending batch
+  /// flushes, so a client that pipelines requests before REBALANCE knows
+  /// they are all in the books when the kOk response arrives. Body is the
+  /// zero 12-byte request body, like STATS.
+  kRebalance = 4,
 };
 
 enum class Status : std::uint8_t {

@@ -352,6 +352,19 @@ void CacheServer::handle_cache_bytes(Connection& conn,
             queue_stats_response(conn);
             ++counters_.stats_requests;
             return;
+          case Opcode::kRebalance:
+            // Flush first so the split sees this connection's pipelined
+            // requests; other connections' batches flush on their own
+            // readiness events, so a client wanting a deterministic
+            // boundary must quiesce them (how e11's segment barriers do
+            // it). rebalance() resizes each shard under its mutex — under
+            // kSeqlock the table rebuild runs in an odd seq window — so
+            // serving it from the loop thread is safe mid-traffic.
+            flush_pending_batch(conn);
+            cache_.rebalance();
+            append_response(conn.out, Status::kOk);
+            ++counters_.rebalance_requests;
+            return;
         }
         flush_pending_batch(conn);
         append_response(conn.out, Status::kBadRequest);
@@ -660,6 +673,8 @@ void CacheServer::fill_metrics(obs::MetricsRegistry& registry) const {
   counter("ccc_server_requests_total", "GET/SET requests served", c.requests);
   counter("ccc_server_stats_requests_total", "STATS requests served",
           c.stats_requests);
+  counter("ccc_server_rebalance_requests_total",
+          "REBALANCE requests applied", c.rebalance_requests);
   counter("ccc_server_bad_requests_total",
           "Well-framed but unserviceable requests", c.bad_requests);
   counter("ccc_server_protocol_errors_total",

@@ -81,6 +81,7 @@ struct ServerCounters {
   std::uint64_t frames = 0;           ///< well-formed frames decoded
   std::uint64_t requests = 0;         ///< GET/SET served through the cache
   std::uint64_t stats_requests = 0;   ///< STATS frames answered
+  std::uint64_t rebalance_requests = 0;  ///< REBALANCE frames applied
   std::uint64_t bad_requests = 0;     ///< well-framed but unserviceable
   std::uint64_t protocol_errors = 0;  ///< framing errors (connection fatal)
   std::uint64_t batches = 0;          ///< access_batch calls

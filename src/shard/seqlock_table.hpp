@@ -6,22 +6,43 @@
 ///        the exhaustive interleaving checker (src/analysis/interleave) over
 ///        checked atomics that model acquire/release/relaxed visibility.
 ///
-/// The protocol itself is unchanged from DESIGN.md §10 (Boehm's seqlock
-/// recipe): an open-addressing mirror of shard residency in atomic
-/// `(key, stamp)` arrays, a `seq` word whose odd values mark structural
-/// writes in flight, and an `epoch` bumped on every eviction/rebuild so
-/// `stamp == epoch` means "no eviction since this page's last budget
-/// refresh" — the exact criterion under which a hit is a pure no-op in
-/// ALG-DISCRETE and may be served without the shard mutex.
+/// The protocol skeleton is Boehm's seqlock recipe (DESIGN.md §10): an
+/// open-addressing mirror of shard residency in atomic `(key, stamp)`
+/// arrays and a `seq` word whose odd values mark structural writes in
+/// flight. Freshness is **per-tenant**: a page's stamp records the sum
+/// `epoch + tenant_epoch[owner]` at its last budget refresh, where
+///
+///  - `epoch` (global) advances only when an eviction actually moved the
+///    shared survivor-debit `offset_` (victim budget ≠ 0) or on a rebuild —
+///    the only events that change the re-freeze value of *every* tenant's
+///    pages at once, and
+///  - `tenant_epoch[t]` advances only when an eviction charged to tenant t
+///    changed t's own re-freeze inputs (its next-marginal value or bump
+///    moved, i.e. the marginal delta ≠ 0).
+///
+/// Both counters are monotone, so `stamp == epoch + tenant_epoch[owner]`
+/// implies *neither* moved since the page's last refresh — re-freezing the
+/// budget now recomputes `next_marginal − bump + offset` from bit-identical
+/// operands and stores a bit-identical key, which is the exact criterion
+/// under which the hit is a pure no-op in ALG-DISCRETE and may be served
+/// without the shard mutex. The practical payoff is that zero-budget
+/// evictions (the common generational case under linear costs) stale
+/// *nothing*, and a positive-budget eviction in tenant t never stales
+/// tenant u ≠ t unless the shared offset moved — the over-staling fix for
+/// ROADMAP item 2.
+///
+/// Callers must pass the same tenant id for a given page on every call
+/// (pages are tenant-owned — trace/types.hpp packs the tenant into the
+/// PageId, and every frontend validates the pairing before probing).
 ///
 /// `SeqlockConfig` exists for the model checker's mutation suite only: each
 /// flag disables one load-bearing ingredient of the protocol (the acquire
-/// fence, the seq revalidation, the odd-window, ...), and
+/// fence, the seq revalidation, the odd-window, the epoch bumps, ...), and
 /// tests/test_seqlock_model.cpp proves the checker rejects every such
 /// mutant while the shipped configuration passes an exhaustive exploration.
 /// Production code always instantiates `kShippedSeqlock`; every deviation
 /// point is an `if constexpr`, so the shipped instantiation compiles to the
-/// exact pre-extraction instruction sequence.
+/// exact intended instruction sequence.
 ///
 /// Thread-safety contract: `try_fresh_hit` may be called by any number of
 /// threads with no lock. Every other member is a writer-side operation and
@@ -68,8 +89,16 @@ struct SeqlockConfig {
   // Writer side ------------------------------------------------------
   /// Wrap eviction erase / rebuild in an odd seq window + release fence.
   bool seq_window = true;
-  /// Advance the epoch after an eviction/rebuild (stales every stamp).
+  /// Advance the global epoch when an eviction moved the shared offset
+  /// (and on every rebuild) — stales every tenant's stamps.
   bool bump_epoch = true;
+  /// Advance the victim tenant's epoch when the eviction changed that
+  /// tenant's re-freeze inputs — stales only the victim tenant's stamps.
+  bool bump_tenant_epoch = true;
+  /// Include the tenant epoch in stamps and the freshness test. False
+  /// degrades freshness to the global epoch alone, so tenant-local bumps
+  /// go unnoticed (a seeded bug the checker must catch).
+  bool stamp_tenant_epoch = true;
   /// On the free-space publish path, store the stamp before the key and
   /// release the key store.
   bool stamp_before_key = true;
@@ -94,26 +123,37 @@ class SeqlockResidencyTable {
   SeqlockResidencyTable(const SeqlockResidencyTable&) = delete;
   SeqlockResidencyTable& operator=(const SeqlockResidencyTable&) = delete;
 
-  /// Allocates `table_size` (power of two) slots, all empty. Called once
-  /// before any concurrent reader exists; reallocation is forbidden (it
-  /// would pull the arrays out from under lock-free probes).
-  void allocate(std::size_t table_size) {
+  /// Allocates `table_size` (power of two) slots, all empty, plus one
+  /// tenant-epoch word per tenant. Called once before any concurrent
+  /// reader exists; reallocation is forbidden (it would pull the arrays
+  /// out from under lock-free probes).
+  void allocate(std::size_t table_size, std::uint32_t num_tenants) {
     CCC_REQUIRE(table_size >= 2 && (table_size & (table_size - 1)) == 0,
                 "seqlock table size must be a power of two");
+    CCC_REQUIRE(num_tenants >= 1, "seqlock table needs at least one tenant");
     CCC_CHECK(key_ == nullptr, "seqlock table may only be allocated once");
     mask_ = table_size - 1;
+    num_tenants_ = num_tenants;
     key_ = std::make_unique<AtomicU64[]>(table_size);
     stamp_ = std::make_unique<AtomicU64[]>(table_size);
+    tenant_epoch_ = std::make_unique<AtomicU64[]>(num_tenants);
     for (std::size_t i = 0; i < table_size; ++i) {
       // Pre-publication init: no reader exists yet, so plain relaxed
       // stores suffice to establish the empty table.
       key_[i].store(kEmptySlot, std::memory_order_relaxed);
       stamp_[i].store(0, std::memory_order_relaxed);
     }
+    for (std::uint32_t t = 0; t < num_tenants; ++t) {
+      // Pre-publication init (same argument as the key/stamp loop above).
+      tenant_epoch_[t].store(0, std::memory_order_relaxed);
+    }
   }
 
   [[nodiscard]] bool allocated() const noexcept { return key_ != nullptr; }
   [[nodiscard]] std::size_t mask() const noexcept { return mask_; }
+  [[nodiscard]] std::uint32_t num_tenants() const noexcept {
+    return num_tenants_;
+  }
 
   // ---------------------------------------------------------------- //
   // Reader side (lock-free; any thread)                               //
@@ -123,8 +163,10 @@ class SeqlockResidencyTable {
   /// under a validated seqlock read — i.e. the locked hit path would have
   /// been a pure no-op and the hit may be served without the mutex. Any
   /// torn, in-progress or ambiguous observation returns false (the caller
-  /// falls back to the mutex, which is always correct).
-  [[nodiscard]] bool try_fresh_hit(std::uint64_t page) const {
+  /// falls back to the mutex, which is always correct). `tenant` must be
+  /// the page's owner (see the file comment's pairing contract).
+  [[nodiscard]] bool try_fresh_hit(std::uint64_t page,
+                                   std::uint32_t tenant) const {
     // Boehm seqlock reader: acquire the seq word so the probe loads below
     // cannot be satisfied before it; odd means a structural write is in
     // flight.
@@ -132,10 +174,15 @@ class SeqlockResidencyTable {
     if constexpr (Config.check_odd_seq) {
       if ((s1 & 1) != 0) return false;
     }
-    // Relaxed is enough for the epoch: the final seq revalidation decides
-    // whether this snapshot was stable; a stale epoch can only make the
-    // freshness test fail conservatively or be caught by that check.
-    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    // Relaxed is enough for both epoch words: the final seq revalidation
+    // decides whether this snapshot was stable (epochs only move inside
+    // odd windows, which the revalidation detects); a stale epoch can
+    // only make the freshness test fail conservatively.
+    std::uint64_t want = epoch_.load(std::memory_order_relaxed);
+    if constexpr (Config.stamp_tenant_epoch) {
+      // Relaxed: same window-stability argument as the global epoch load.
+      want += tenant_epoch_[tenant].load(std::memory_order_relaxed);
+    }
     std::size_t slot = home(page);
     bool fresh = false;
     for (std::size_t probes = 0; probes <= mask_; ++probes) {
@@ -149,11 +196,12 @@ class SeqlockResidencyTable {
                                                             // benign mutation
       if (key == kEmptySlot) break;  // not resident (as of this snapshot)
       if (key == page) {
-        // Fresh ⇔ no eviction/rebuild since this page's last budget
-        // refresh ⇔ re-freezing the budget now would store the identical
-        // value ⇔ the locked hit path would be a no-op. Relaxed is safe:
-        // the acquire on `key` already ordered this load (see above).
-        fresh = stamp_[slot].load(std::memory_order_relaxed) == epoch;
+        // Fresh ⇔ neither the global nor the owner's epoch moved since
+        // this page's last budget refresh ⇔ re-freezing the budget now
+        // recomputes from bit-identical operands ⇔ the locked hit path
+        // would be a no-op. Relaxed is safe: the acquire on `key`
+        // already ordered this load (see above).
+        fresh = stamp_[slot].load(std::memory_order_relaxed) == want;
         break;
       }
       slot = (slot + 1) & mask_;
@@ -178,13 +226,14 @@ class SeqlockResidencyTable {
   // ---------------------------------------------------------------- //
 
   /// Mirror of a locked hit: refresh the page's stamp to the current
-  /// epoch. Returns true iff the stamp was already current — i.e. the
-  /// optimistic path would have served this hit (the caller's resume
-  /// signal). A lone relaxed store: a racing reader sees either the old
-  /// stamp (conservative fallback) or the new one (correct), never an
+  /// epoch sum for its owner. Returns true iff the stamp was already
+  /// current — i.e. the optimistic path would have served this hit (the
+  /// caller's resume signal). A lone relaxed store: a racing reader sees
+  /// either the old stamp (conservative fallback) or the new one
+  /// (correct — the locked hit just re-froze the budget), never an
   /// inconsistency.
-  bool restamp_hit(std::uint64_t page) {
-    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  bool restamp_hit(std::uint64_t page, std::uint32_t tenant) {
+    const std::uint64_t want = stamp_for(tenant);
     std::size_t slot = home(page);
     // Writer-private probe: relaxed loads, we are the only writer.
     while (key_[slot].load(std::memory_order_relaxed) != page) {
@@ -195,8 +244,8 @@ class SeqlockResidencyTable {
     // Relaxed pair: writer-private read; racing readers see old or new
     // stamp, both self-consistent (doc comment above).
     const bool was_fresh =
-        stamp_[slot].load(std::memory_order_relaxed) == epoch;
-    stamp_[slot].store(epoch, std::memory_order_relaxed);
+        stamp_[slot].load(std::memory_order_relaxed) == want;
+    stamp_[slot].store(want, std::memory_order_relaxed);
     return was_fresh;
   }
 
@@ -204,47 +253,70 @@ class SeqlockResidencyTable {
   /// release store, so a reader that acquires the new key also observes
   /// its stamp. No seq window — a racing reader can only miss the new
   /// entry (conservative), never observe an inconsistent state.
-  void publish_insert(std::uint64_t page) {
-    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  void publish_insert(std::uint64_t page, std::uint32_t tenant) {
+    const std::uint64_t want = stamp_for(tenant);
     std::size_t slot = home(page);
     // Writer-private probe: relaxed, we are the only mutator.
     while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
       slot = (slot + 1) & mask_;
     if constexpr (Config.stamp_before_key) {
       // Relaxed: the key release-store below carries it.
-      stamp_[slot].store(epoch, std::memory_order_relaxed);
+      stamp_[slot].store(want, std::memory_order_relaxed);
       // Release: the publish point — carries the stamp store above.
       key_[slot].store(page, std::memory_order_release);
     } else {
       // Mutation: key first, stamp later (checker-verified benign —
       // see tests/test_seqlock_model.cpp).
       key_[slot].store(page, std::memory_order_release);
-      stamp_[slot].store(epoch, std::memory_order_relaxed);
+      stamp_[slot].store(want, std::memory_order_relaxed);
     }
   }
 
   /// Mirror of a miss with eviction: backward-shift erase of the victim,
-  /// epoch bump, insert of the fetched page — all inside an odd seq
-  /// window, because the shift moves *unrelated* entries between slots
-  /// mid-probe and the epoch bump re-defines freshness for every page.
-  void evict_and_insert(std::uint64_t victim, std::uint64_t page) {
+  /// the epoch bumps the eviction earned, insert of the fetched page —
+  /// all inside an odd seq window, because the shift moves *unrelated*
+  /// entries between slots mid-probe and an epoch bump re-defines
+  /// freshness for a whole tenant class.
+  ///
+  /// `offset_moved` — the eviction debited survivors by a nonzero victim
+  /// budget, shifting the shared offset: every tenant's re-freeze value
+  /// changed, so the *global* epoch advances. `victim_refreshed` — the
+  /// eviction changed the victim tenant's next-marginal or bump: only
+  /// that tenant's re-freeze values changed, so only its epoch advances.
+  /// A zero-budget eviction with an unchanged marginal (the generational
+  /// steady state under linear costs) bumps neither: every survivor's
+  /// stamp stays fresh, which is exactly the over-staling fix.
+  void evict_and_insert(std::uint64_t victim, std::uint64_t page,
+                        std::uint32_t page_tenant,
+                        std::uint32_t victim_tenant, bool offset_moved,
+                        bool victim_refreshed) {
     open_window();
     erase_locked(victim);
-    // The eviction debited every survivor (and bumped the victim's
-    // tenant), so no resident page's frozen budget re-freezes to the same
-    // value any more: advance the epoch, staling every stamp at once.
-    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     if constexpr (Config.bump_epoch) {
-      // Relaxed: the window close below releases this store.
-      epoch_.store(epoch + 1, std::memory_order_relaxed);
+      if (offset_moved) {
+        // Relaxed load: writer-private read of a writer-owned counter.
+        const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+        // Relaxed: the window close below releases this store.
+        epoch_.store(epoch + 1, std::memory_order_relaxed);
+      }
     }
-    // Insert the newly fetched page, stamped fresh for the new epoch.
-    // Relaxed stores: the odd window screens them from readers.
+    if constexpr (Config.bump_tenant_epoch) {
+      if (victim_refreshed) {
+        // Relaxed load: writer-private read of a writer-owned counter.
+        const std::uint64_t te =
+            tenant_epoch_[victim_tenant].load(std::memory_order_relaxed);
+        // Relaxed: the window close below releases this store.
+        tenant_epoch_[victim_tenant].store(te + 1,
+                                           std::memory_order_relaxed);
+      }
+    }
+    // Insert the newly fetched page, stamped fresh under the post-bump
+    // epoch sums. Relaxed stores: the odd window screens them.
     std::size_t slot = home(page);
     // Relaxed throughout: the odd window screens these from readers.
     while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
       slot = (slot + 1) & mask_;
-    stamp_[slot].store(Config.bump_epoch ? epoch + 1 : epoch,
+    stamp_[slot].store(stamp_for(page_tenant),
                        std::memory_order_relaxed);  // window-screened
     key_[slot].store(page, std::memory_order_relaxed);  // window-screened
     close_window();
@@ -273,7 +345,7 @@ class SeqlockResidencyTable {
   }
 
   /// Rebuilds the table from scratch with uniformly *stale* stamps, then
-  /// advances the epoch. Must run inside a caller-opened window (a
+  /// advances the global epoch. Must run inside a caller-opened window (a
   /// rebalance resize may have debited survivors, so nothing may appear
   /// fresh afterwards). `pages` is any range whose elements expose the
   /// page id as `.first` (FlatMap entries, std::pair, ...).
@@ -289,6 +361,11 @@ class SeqlockResidencyTable {
       // Relaxed: still inside the caller's window (see loop comment).
       while (key_[slot].load(std::memory_order_relaxed) != kEmptySlot)
         slot = (slot + 1) & mask_;
+      // Stamp the *bare* pre-bump global epoch, without any tenant term:
+      // after the bump below the freshness sum for every tenant t is
+      // (epoch+1) + tenant_epoch[t] > epoch, and both counters only
+      // grow, so these stamps are stale forever until restamped — no
+      // per-entry tenant lookup needed.
       stamp_[slot].store(epoch, std::memory_order_relaxed);  // window
       key_[slot].store(page, std::memory_order_relaxed);     // window
     }
@@ -299,6 +376,18 @@ class SeqlockResidencyTable {
   }
 
  private:
+  /// The current freshness sum for `tenant` (writer-side: we own every
+  /// epoch store, so relaxed loads read our own last values).
+  [[nodiscard]] std::uint64_t stamp_for(std::uint32_t tenant) const {
+    // Relaxed: writer-private reads of writer-owned counters.
+    std::uint64_t want = epoch_.load(std::memory_order_relaxed);
+    if constexpr (Config.stamp_tenant_epoch) {
+      // Relaxed: writer-private read (same argument as above).
+      want += tenant_epoch_[tenant].load(std::memory_order_relaxed);
+    }
+    return want;
+  }
+
   [[nodiscard]] std::size_t home(std::uint64_t page) const {
     return static_cast<std::size_t>(util::splitmix64(page)) & mask_;
   }
@@ -335,12 +424,16 @@ class SeqlockResidencyTable {
   /// Sequence word: odd ⇔ structural write in flight. Cache-line-aligned
   /// away from the mutex/bookkeeping the shard keeps next to this table.
   alignas(64) AtomicU64 seq_{};
-  /// Evictions + rebuilds so far; a page's budget refresh is a no-op iff
-  /// its slot's stamp still equals this epoch.
+  /// Global epoch: offset moves + rebuilds so far. A page's stamp is
+  /// fresh iff it equals `epoch_ + tenant_epoch_[owner]`.
   AtomicU64 epoch_{};
   std::unique_ptr<AtomicU64[]> key_;
   std::unique_ptr<AtomicU64[]> stamp_;
+  /// Per-tenant epoch: re-freeze-changing evictions charged to each
+  /// tenant (marginal delta ≠ 0). Indexed by tenant id.
+  std::unique_ptr<AtomicU64[]> tenant_epoch_;
   std::size_t mask_ = 0;
+  std::uint32_t num_tenants_ = 0;
 };
 
 }  // namespace ccc

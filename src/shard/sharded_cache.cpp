@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/convex_caching.hpp"
+#include "trace/types.hpp"
 #include "util/check.hpp"
 #include "util/flat_map.hpp"
 
@@ -118,10 +119,13 @@ ShardedCache::ShardedCache(ShardedCacheOptions options, PolicyFactory factory,
       CCC_REQUIRE(convex->options().window_length == 0,
                   "HitPath::kSeqlock is incompatible with windowed "
                   "accounting (window rollovers re-base budgets on hits)");
+      shard->convex = convex;
       // One table sized for the *total* capacity: rebalancing may hand
       // this shard (almost) everything, and reallocation would pull the
-      // arrays out from under concurrent lock-free readers.
-      shard->table.allocate(pow2_at_least(2 * options_.capacity + 2));
+      // arrays out from under concurrent lock-free readers. Tenant count
+      // sizes the per-tenant epoch array (per-tenant freshness).
+      shard->table.allocate(pow2_at_least(2 * options_.capacity + 2),
+                            options_.num_tenants);
       shard->lockfree_hits = std::make_unique<std::atomic<std::uint64_t>[]>(
           options_.num_tenants);
       for (std::uint32_t t = 0; t < options_.num_tenants; ++t)
@@ -169,7 +173,7 @@ bool ShardedCache::try_seqlock_hit(Shard& shard, const Request& request,
   // torn, in-progress or ambiguous observation falls back to the mutex —
   // the fallback is always correct, just slower.
   if (request.tenant >= options_.num_tenants) return false;  // locked throw
-  if (!shard.table.try_fresh_hit(request.page)) return false;
+  if (!shard.table.try_fresh_hit(request.page, request.tenant)) return false;
   // Relaxed tally: each slot is written by exactly this kind of
   // increment; aggregation folds it in under the shard mutex, and the
   // count is not part of the protocol's correctness argument.
@@ -188,15 +192,32 @@ bool ShardedCache::apply_event_seqlock(Shard& shard, const StepEvent& event) {
   //  insert   — publish stamp *then* key with a release store.
   //  eviction — the only structural mutation (backward-shift erase moves
   //             unrelated entries): wrapped in an odd `seq` window so
-  //             every concurrent reader retries via the locked path.
+  //             every concurrent reader retries via the locked path. The
+  //             policy just ran this eviction synchronously inside
+  //             session->step, so its freshness signals describe exactly
+  //             this event: the table bumps the global epoch only if the
+  //             shared survivor-debit offset moved, and the victim
+  //             tenant's epoch only if that tenant's budgets were
+  //             re-based (delta ≠ 0). Under linear costs at steady state
+  //             both signals are quiet and *no* resident entry goes
+  //             stale — the fix for seqlock over-staling under eviction
+  //             pressure.
   // Memory-order details and the full argument: seqlock_table.hpp and
   // DESIGN.md §10.
-  if (event.hit) return shard.table.restamp_hit(event.request.page);
+  if (event.hit)
+    return shard.table.restamp_hit(event.request.page, event.request.tenant);
   if (!event.victim.has_value()) {
-    shard.table.publish_insert(event.request.page);
+    shard.table.publish_insert(event.request.page, event.request.tenant);
     return false;
   }
-  shard.table.evict_and_insert(*event.victim, event.request.page);
+  // Simulator evictions always carry the victim's owner; fall back to the
+  // PageId-packed tenant only for synthetic events in tests.
+  const TenantId owner =
+      event.victim_owner.value_or(page_owner(*event.victim));
+  shard.table.evict_and_insert(*event.victim, event.request.page,
+                               event.request.tenant, owner,
+                               shard.convex->last_evict_moved_offset(),
+                               shard.convex->last_evict_refreshed_tenant());
   return false;
 }
 

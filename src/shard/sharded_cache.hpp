@@ -55,6 +55,8 @@
 
 namespace ccc {
 
+class ConvexCachingPolicy;
+
 /// Splits `total` capacity into `shards` parts differing by at most one
 /// page (the first `total % shards` shards get the extra page). Every
 /// shard receives at least one page; throws if `total < shards`.
@@ -257,6 +259,13 @@ class ShardedCache {
     /// *total* capacity so rebalancing never reallocates under a
     /// concurrent reader.
     SeqlockResidencyTable<StdAtomics> table;
+    /// Downcast view of `policy` (kSeqlock requires ALG-DISCRETE, so the
+    /// cast is checked once at construction). Read under `mutex` right
+    /// after each locked step to learn which freshness signals the
+    /// eviction raised — whether the shared offset moved and whether the
+    /// victim tenant's budgets were re-based — so evict_and_insert can
+    /// stale exactly the entries whose effective budgets changed.
+    const ConvexCachingPolicy* convex CCC_PT_GUARDED_BY(mutex) = nullptr;
     /// Per-tenant hits served lock-free (folded into metrics/perf on
     /// aggregation; never written by the locked path).
     std::unique_ptr<std::atomic<std::uint64_t>[]> lockfree_hits;

@@ -1,0 +1,168 @@
+#pragma once
+/// \file arena.hpp
+/// \brief Bump-pointer arena + std-compatible allocator for the eviction
+///        index's steady-state allocations.
+///
+/// ALG-DISCRETE's lazy min-heap index re-posts an entry on every budget
+/// refresh and rebuilds itself on compaction (core/convex_caching.cpp), so
+/// with the default allocator the steady-state eviction path pays a malloc
+/// per vector growth and a malloc/free pair per compaction cycle — the
+/// per-posting allocations ROADMAP item 2 flags. The arena turns all of
+/// that into pointer bumps over a small set of retained blocks:
+///
+///  - `allocate` carves aligned ranges out of the current block and falls
+///    through to the next retained block (or a new, geometrically larger
+///    one) when full. Individual deallocation is a no-op.
+///  - `reset` rewinds every block cursor without freeing, so a consumer
+///    with a natural epoch boundary (the index rebuild on compaction)
+///    recycles its high-water footprint forever. After the first few
+///    compaction cycles the block set plateaus and the eviction path
+///    performs **zero** `operator new` calls — the property the e6
+///    `--alloc-stats` gate asserts in CI.
+///
+/// The arena is single-threaded by design: each ConvexCachingPolicy owns
+/// its arenas and every policy mutation happens under the owning shard's
+/// mutex. ArenaAllocator with a null arena falls back to the global heap
+/// (correctness first — a default-constructed container still works, and
+/// the alloc-stats gate catches the performance bug).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccc::util {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Carves `bytes` aligned to `align` (a power of two) out of the arena.
+  /// Never returns nullptr; zero-byte requests get a unique valid pointer.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    CCC_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                "Arena: alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const std::size_t aligned = align_up(block.used, align);
+      if (aligned + bytes <= block.size) {
+        block.used = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+      ++current_;  // retained block too small for this request; try next
+    }
+    grow(bytes + align);
+    Block& block = blocks_.back();
+    const std::size_t aligned = align_up(block.used, align);
+    block.used = aligned + bytes;
+    return block.data.get() + aligned;
+  }
+
+  /// Rewinds every block cursor; retains all blocks for recycling. Any
+  /// pointer previously handed out becomes dangling — callers must destroy
+  /// arena-backed containers *before* resetting (the index rebuild does).
+  void reset() noexcept {
+    for (Block& block : blocks_) block.used = 0;
+    current_ = 0;
+  }
+
+  /// Pre-allocates so `bytes` fit without further block growth.
+  void reserve(std::size_t bytes) {
+    if (bytes > capacity_bytes()) grow(bytes - capacity_bytes());
+  }
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.used;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kFirstBlockBytes = 4096;
+
+  [[nodiscard]] static std::size_t align_up(std::size_t n,
+                                            std::size_t align) noexcept {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t size = blocks_.empty() ? kFirstBlockBytes
+                                       : blocks_.back().size * 2;
+    while (size < at_least) size *= 2;
+    blocks_.push_back(
+        Block{std::make_unique<std::byte[]>(size), size, 0});
+    current_ = blocks_.size() - 1;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+/// std::allocator-compatible facade over an Arena. Deallocation is a no-op
+/// (the arena reclaims in bulk via reset()); a null arena falls back to the
+/// global heap so default-constructed containers remain correct.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // Propagate on move/copy/swap so container moves steal storage in O(1)
+  // instead of element-wise copying across allocator instances.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ == nullptr)
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena-backed ranges are reclaimed in bulk by Arena::reset().
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator<U>& b) noexcept {
+    return a.arena_ == b.arena();
+  }
+  template <typename U>
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator<U>& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace ccc::util

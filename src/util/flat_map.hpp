@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -49,11 +50,15 @@ namespace ccc::util {
   return x ^ (x >> 31);
 }
 
-template <typename Value>
+/// `Alloc` (a std-compatible allocator for Value, rebound internally for
+/// the key array) defaults to the global heap; policies that must not
+/// allocate on their steady-state path back it with util::ArenaAllocator.
+template <typename Value, typename Alloc = std::allocator<Value>>
 class FlatMap {
  public:
   using key_type = std::uint64_t;
   using mapped_type = Value;
+  using allocator_type = Alloc;
 
   /// Reserved slot marker; never a valid key.
   static constexpr key_type kEmptyKey = ~key_type{0};
@@ -132,6 +137,9 @@ class FlatMap {
   using const_iterator = Iter<true>;
 
   FlatMap() = default;
+  /// Stateful-allocator construction (e.g. over a util::Arena).
+  explicit FlatMap(const Alloc& alloc)
+      : keys_(KeyAlloc(alloc)), values_(alloc) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -206,6 +214,20 @@ class FlatMap {
 #else
     (void)key;
 #endif
+  }
+
+  // Raw SoA slot arrays: slot i is live iff key_data()[i] != kEmptyKey.
+  // These let whole-table passes (the windowed budget re-base) run as flat
+  // index loops the compiler can vectorize instead of proxy-iterator loops.
+  [[nodiscard]] const key_type* key_data() const noexcept {
+    return keys_.data();
+  }
+  [[nodiscard]] Value* value_data() noexcept { return values_.data(); }
+  [[nodiscard]] const Value* value_data() const noexcept {
+    return values_.data();
+  }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return keys_.size();
   }
 
   [[nodiscard]] iterator begin() {
@@ -292,8 +314,8 @@ class FlatMap {
   }
 
   void rehash(std::size_t new_capacity) {
-    std::vector<key_type> old_keys = std::move(keys_);
-    std::vector<Value> old_values = std::move(values_);
+    KeyVector old_keys = std::move(keys_);
+    ValueVector old_values = std::move(values_);
     keys_.assign(new_capacity, kEmptyKey);
     values_.assign(new_capacity, Value{});
     mask_ = new_capacity - 1;
@@ -308,8 +330,13 @@ class FlatMap {
     }
   }
 
-  std::vector<key_type> keys_;
-  std::vector<Value> values_;
+  using KeyAlloc =
+      typename std::allocator_traits<Alloc>::template rebind_alloc<key_type>;
+  using KeyVector = std::vector<key_type, KeyAlloc>;
+  using ValueVector = std::vector<Value, Alloc>;
+
+  KeyVector keys_;
+  ValueVector values_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
 };

@@ -51,7 +51,7 @@ struct AuditTestPeer {
     p.pages_.erase(page);
   }
   static void clear_global_heap(ConvexCachingPolicy& p) {
-    p.global_ = ConvexCachingPolicy::GlobalHeap{};
+    p.global_ = p.empty_heap();
   }
   static void flood_global_heap(ConvexCachingPolicy& p, std::size_t count) {
     // Dead postings: page ids far outside any trace universe, so every one

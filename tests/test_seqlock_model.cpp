@@ -38,6 +38,8 @@ constexpr SeqlockConfig kNoAcquireFence{.acquire_fence = false};
 constexpr SeqlockConfig kNoRevalidate{.revalidate_seq = false};
 constexpr SeqlockConfig kNoSeqWindow{.seq_window = false};
 constexpr SeqlockConfig kNoEpochBump{.bump_epoch = false};
+constexpr SeqlockConfig kNoTenantEpochBump{.bump_tenant_epoch = false};
+constexpr SeqlockConfig kNoTenantStamp{.stamp_tenant_epoch = false};
 // Checker-verified-benign reorderings (see file comment).
 constexpr SeqlockConfig kKeyBeforeStamp{.stamp_before_key = false};
 constexpr SeqlockConfig kRelaxedKeyLoads{.acquire_key_loads = false};
@@ -95,10 +97,45 @@ SeqlockCheckResult run_evict_then_fill() {
   return harness.check(ids);
 }
 
+// Script 5 — tenant-local staleness: an eviction that did NOT move the
+// shared offset (zero victim budget) but DID re-base the victim tenant's
+// budgets (marginal delta ≠ 0). Tenant 0's survivor must go stale while
+// tenant 1's survivor stays servable. Only the per-tenant epoch machinery
+// distinguishes the two — the global epoch never moves in this script, so
+// kNoTenantEpochBump / kNoTenantStamp admit a hit on the re-based
+// survivor that no locked execution could produce.
+template <SeqlockConfig Config>
+SeqlockCheckResult run_tenant_refresh_only() {
+  const std::vector<std::uint64_t> ids = colliding_pages(4, kMask);
+  SeqlockModelHarness<Config> harness(kTableSize);
+  harness.fill(ids[0], /*tenant=*/0);
+  harness.fill(ids[1], /*tenant=*/0);
+  harness.fill(ids[2], /*tenant=*/1);
+  harness.evict(/*victim=*/ids[0], /*page=*/ids[3], /*page_tenant=*/0,
+                /*offset_moved=*/false, /*victim_refreshed=*/true);
+  return harness.check(ids);
+}
+
+// Script 6 — the over-staling fix itself: a zero-budget eviction with a
+// flat marginal (the generational steady state under linear costs) stales
+// NOTHING. Both survivors — including the victim's own tenant — must
+// remain lock-free servable, and any admitted hit is genuinely fresh.
+template <SeqlockConfig Config>
+SeqlockCheckResult run_nothing_stales() {
+  const std::vector<std::uint64_t> ids = colliding_pages(3, kMask);
+  SeqlockModelHarness<Config> harness(kTableSize);
+  harness.fill(ids[0], /*tenant=*/0);
+  harness.fill(ids[1], /*tenant=*/1);
+  harness.evict(/*victim=*/ids[0], /*page=*/ids[2], /*page_tenant=*/0,
+                /*offset_moved=*/false, /*victim_refreshed=*/false);
+  return harness.check(ids);
+}
+
 template <SeqlockConfig Config>
 std::vector<SeqlockCheckResult> run_all_scripts() {
-  return {run_fill_evict<Config>(), run_restamp_then_evict<Config>(),
-          run_rebuild<Config>(), run_evict_then_fill<Config>()};
+  return {run_fill_evict<Config>(),        run_restamp_then_evict<Config>(),
+          run_rebuild<Config>(),           run_evict_then_fill<Config>(),
+          run_tenant_refresh_only<Config>(), run_nothing_stales<Config>()};
 }
 
 TEST(SeqlockModelSetup, CollidingPagesShareAHomeSlot) {
@@ -174,14 +211,35 @@ TEST(SeqlockModelMutations, WriterSkippingEpochBumpIsCaught) {
   expect_caught<kNoEpochBump>("writer skips the epoch bump");
 }
 
+TEST(SeqlockModelMutations, WriterSkippingTenantEpochBumpIsCaught) {
+  // A tenant-refresh-only eviction (offset unmoved, victim tenant
+  // re-based) leaves the global epoch alone; if the victim tenant's epoch
+  // doesn't advance either, its survivors' stamps still satisfy the
+  // freshness sum and a settled reader serves a hit on a page whose
+  // budget the locked path would have rewritten.
+  expect_caught<kNoTenantEpochBump>("writer skips the tenant epoch bump");
+}
+
+TEST(SeqlockModelMutations, ReaderIgnoringTenantEpochIsCaught) {
+  // Degrading stamps/freshness to the global epoch alone makes the
+  // tenant-local bump invisible: the writer advances tenant_epoch[0] but
+  // the reader's expected stamp never includes it, so tenant 0's re-based
+  // survivor still validates as fresh.
+  expect_caught<kNoTenantStamp>("stamps ignore the tenant epoch");
+}
+
 // --- Checker-verified benign reorderings (defense in depth). ----------
 
 TEST(SeqlockModelBenign, KeyBeforeStampPublishIsSerializable) {
   // Publishing the key before the stamp lets a reader pair the new key
-  // with the slot's prior stamp — but slot reuse always rides through an
-  // eviction epoch bump, so a stale stamp can never equal the current
-  // epoch, and on first use the observable stamp values coincide. Every
-  // admitted hit stays serializable; the checker confirms exhaustively.
+  // with the slot's prior stamp — but a leftover stamp can only equal the
+  // current freshness sum when no staling event intervened since it was
+  // written, in which case the newly published page is genuinely fresh
+  // anyway (its own stamp would be the same value); and whenever an
+  // eviction *did* re-base budgets, the matching epoch bump forces a
+  // mismatch. Every admitted hit stays serializable; the checker
+  // confirms exhaustively (including the per-tenant scripts, where
+  // evictions may bump no epoch at all).
   for (const SeqlockCheckResult& result :
        run_all_scripts<kKeyBeforeStamp>()) {
     EXPECT_TRUE(result.clean());

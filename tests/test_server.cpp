@@ -256,6 +256,63 @@ TEST(Server, LoopbackReplayBitIdenticalToDirectBatchReplay) {
   EXPECT_EQ(harness.stop(), 0);
 }
 
+TEST(Server, RebalanceOpcodeMatchesDirectReplayWithRebalance) {
+  constexpr std::uint32_t kTenants = 4;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kCapacity = 32;
+  ServerHarness harness({}, kTenants, kShards, kCapacity);
+  const Trace trace = zipf_trace(kTenants, 8000, 11);
+  const std::vector<Request>& all = trace.requests();
+  const std::size_t half = all.size() / 2;
+
+  // One connection carries every shard's subsequence in trace order, so
+  // the DESIGN.md §12 precondition holds trivially; REBALANCE lands at an
+  // exact boundary because the client has read every response first.
+  server::BlockingClient client(kLoopback, harness.port());
+  const std::vector<Request> first(all.begin(),
+                                   all.begin() + static_cast<long>(half));
+  const std::vector<Request> second(all.begin() + static_cast<long>(half),
+                                    all.end());
+  replay(client, first, 128);
+  client.rebalance();  // throws unless the server answers kOk
+  replay(client, second, 128);
+
+  // The applied split conserved total capacity.
+  std::size_t total = 0;
+  for (const std::size_t c : harness.server->cache().capacities()) total += c;
+  EXPECT_EQ(total, kCapacity);
+
+  // Books must be bit-identical to a direct replay that rebalances at the
+  // same request boundary — same split (it reads the same miss books),
+  // same resize-driven evictions, cost ratio exactly 1.
+  const auto costs = quadratic_costs(kTenants);
+  ShardedCacheOptions ref_options;
+  ref_options.capacity = kCapacity;
+  ref_options.num_shards = kShards;
+  ref_options.num_tenants = kTenants;
+  ref_options.seed = 7;
+  ref_options.hit_path = HitPath::kSeqlock;
+  ShardedCache reference(ref_options, nullptr, &costs);
+  std::vector<StepEvent> events;
+  reference.access_batch(std::span<const Request>(first), events);
+  reference.rebalance();
+  events.clear();
+  reference.access_batch(std::span<const Request>(second), events);
+  const Metrics ref_metrics = reference.aggregated_metrics();
+
+  server::BlockingClient probe(kLoopback, harness.port());
+  const server::StatsPayload stats = probe.stats();
+  for (TenantId t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(stats.hits[t], ref_metrics.hits(t)) << "tenant " << t;
+    EXPECT_EQ(stats.misses[t], ref_metrics.misses(t)) << "tenant " << t;
+    EXPECT_EQ(stats.evictions[t], ref_metrics.evictions(t)) << "tenant " << t;
+  }
+  EXPECT_DOUBLE_EQ(total_cost(stats.misses, costs),
+                   total_cost(ref_metrics.miss_vector(), costs));
+  EXPECT_EQ(harness.stop(), 0);
+  EXPECT_EQ(harness.server->counters().rebalance_requests, 1u);
+}
+
 // ----------------------------------------------------------- lifecycle
 
 TEST(Server, SigtermMidPipelineDrainsEveryRequestAndExitsZero) {

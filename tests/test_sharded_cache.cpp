@@ -483,6 +483,26 @@ TEST(ShardedCache, ConcurrentBatchedAccessIsRaceFreeAndConserving) {
   EXPECT_EQ(cache.aggregated_perf().requests, writers * requests_per_writer);
 }
 
+// The batched drain's probe-ahead feeds request pages straight into
+// CacheState's FlatMap prefetch — which does no reserved-key screening
+// (it is only an address hint). The reserved key ~0 must therefore be
+// rejected when its request actually reaches the insert path, not
+// silently corrupt the table: place the poisoned request deep enough in
+// the batch that an earlier request's probe-ahead prefetches it first,
+// then expect the FlatMap's reserved-key guard to fire when it is
+// processed.
+TEST(ShardedCacheBatch, ReservedPageIdIsRejectedAfterPrefetch) {
+  const std::uint32_t tenants = 2;
+  const auto costs = quadratic_costs(tenants);
+  ShardedCache cache(options_for(8, 1, tenants), nullptr, &costs);
+  std::vector<Request> batch;
+  for (std::uint64_t i = 0; i < 12; ++i)
+    batch.push_back(Request{0, make_page(0, i)});
+  // util::FlatMap<...>::kEmptyKey — the one PageId value no tenant can own.
+  batch.push_back(Request{0, ~PageId{0}});
+  EXPECT_THROW(cache.access_batch(batch), std::invalid_argument);
+}
+
 // ----------------------------------------------------------------- seqlock
 
 ShardedCacheOptions seqlock_options(std::size_t capacity, std::size_t shards,
